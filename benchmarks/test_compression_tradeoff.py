@@ -1,0 +1,45 @@
+"""Bench (extension): accuracy/traffic tradeoff of lossy logit wire formats.
+
+FedPKD's remaining traffic is logits; this bench quantifies what float16
+and int8 encodings save and what they cost in accuracy.
+"""
+
+from repro.experiments import ExperimentSetting, make_bundle, run_algorithm
+
+from .conftest import run_once
+
+SCHEMES = ("float32", "float16", "int8")
+
+
+def _run_schemes(scale):
+    setting = ExperimentSetting(
+        dataset="cifar10", partition="dir0.3", scale=scale, seed=0
+    )
+    bundle = make_bundle(setting)
+    out = {}
+    for scheme in SCHEMES:
+        hist = run_algorithm(
+            setting, "fedpkd", bundle=bundle, logit_compression=scheme
+        )
+        out[scheme] = {
+            "server_acc": hist.best_server_acc,
+            "client_acc": hist.best_client_acc,
+            "total_mb": hist.records[-1].comm_total_mb,
+        }
+    return out
+
+
+def test_compression_tradeoff(benchmark, scale):
+    results = run_once(benchmark, _run_schemes, scale=scale)
+    benchmark.extra_info["results"] = {
+        k: {m: round(v, 4) for m, v in vals.items()} for k, vals in results.items()
+    }
+    # traffic strictly ordered by precision
+    assert results["int8"]["total_mb"] < results["float16"]["total_mb"]
+    assert results["float16"]["total_mb"] < results["float32"]["total_mb"]
+    # lossy formats stay within a few points of full precision
+    for scheme in ("float16", "int8"):
+        assert (
+            results[scheme]["server_acc"]
+            >= results["float32"]["server_acc"] - 0.15
+        )

@@ -1,0 +1,37 @@
+"""Bench: ablations of the design choices and future-work extensions from
+DESIGN.md — aggregation rule (variance / equal / entropy), filter mode
+(prototype / random), and filter warmup."""
+
+from repro.experiments import ExperimentSetting, make_bundle, run_algorithm
+
+from .conftest import run_once
+
+ARMS = {
+    "variance-agg (paper)": {"aggregation": "variance"},
+    "equal-agg": {"aggregation": "equal"},
+    "entropy-agg (ext)": {"aggregation": "entropy"},
+    "random-filter": {"filter_mode": "random"},
+    "filter-warmup (ext)": {"filter_warmup_rounds": 1},
+}
+
+
+def _run_arms(scale):
+    setting = ExperimentSetting(
+        dataset="cifar10", partition="dir0.1", scale=scale, seed=0
+    )
+    bundle = make_bundle(setting)
+    out = {}
+    for arm, overrides in ARMS.items():
+        hist = run_algorithm(setting, "fedpkd", bundle=bundle, **overrides)
+        out[arm] = (hist.best_server_acc, hist.best_client_acc)
+    return out
+
+
+def test_extensions_ablation(benchmark, scale):
+    results = run_once(benchmark, _run_arms, scale=scale)
+    benchmark.extra_info["results"] = {
+        arm: [round(v, 4) for v in pair] for arm, pair in results.items()
+    }
+    assert set(results) == set(ARMS)
+    for s_acc, c_acc in results.values():
+        assert 0 <= s_acc <= 1 and 0 <= c_acc <= 1

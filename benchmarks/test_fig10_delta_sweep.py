@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 10 (server accuracy vs server-loss mix δ)."""
+
+from repro.experiments import fig10_delta
+
+from .conftest import run_once
+
+
+def test_fig10_delta_sweep(benchmark, scale):
+    deltas = (0.1, 0.5, 0.9)
+    results = run_once(
+        benchmark, fig10_delta.run, scale=scale, seed=0, deltas=deltas
+    )
+    cell = results["cifar10"]
+    benchmark.extra_info["results"] = {str(d): round(a, 4) for d, a in cell.items()}
+    assert set(cell) == set(deltas)
+    for acc in cell.values():
+        assert 0 <= acc <= 1
+    print()
+    print(fig10_delta.as_table(results))

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 9 (server accuracy vs filter select-ratio θ)."""
+
+from repro.experiments import fig9_theta
+
+from .conftest import run_once
+
+
+def test_fig9_theta_sweep(benchmark, scale):
+    thetas = (0.3, 0.5, 0.7)
+    results = run_once(
+        benchmark, fig9_theta.run, scale=scale, seed=0, thetas=thetas
+    )
+    cell = results["cifar10"]
+    benchmark.extra_info["results"] = {str(t): round(a, 4) for t, a in cell.items()}
+    assert set(cell) == set(thetas)
+    for acc in cell.values():
+        assert 0 <= acc <= 1
+    print()
+    print(fig9_theta.as_table(results))

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the substrate: training-step latency, conv throughput,
+aggregation/filtering hot paths.  These are not paper reproductions but make
+regressions in the from-scratch engine visible."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import prototype_filter, variance_weighted_aggregate
+from repro.nn import Tensor, losses
+
+IMG = (3, 8, 8)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(32, *IMG)), rng.integers(0, 10, 32)
+
+
+def test_mlp_train_step(benchmark, batch):
+    x, y = batch
+    model = nn.build_model("mlp_medium", 10, IMG, rng=0)
+    opt = nn.Adam(model.parameters(), lr=1e-3)
+
+    def step():
+        loss = losses.cross_entropy(model(Tensor(x)), y)
+        model.zero_grad()
+        loss.backward()
+        opt.step()
+        return loss.item()
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
+def test_resnet20_train_step(benchmark, batch):
+    x, y = batch
+    model = nn.build_model("resnet20", 10, IMG, rng=0)
+    opt = nn.Adam(model.parameters(), lr=1e-3)
+
+    def step():
+        loss = losses.cross_entropy(model(Tensor(x)), y)
+        model.zero_grad()
+        loss.backward()
+        opt.step()
+        return loss.item()
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
+def test_resnet_inference(benchmark, batch):
+    x, _ = batch
+    model = nn.build_model("resnet20", 10, IMG, rng=0)
+    out = benchmark(model.predict_logits, np.repeat(x, 4, axis=0))
+    assert out.shape == (128, 10)
+
+
+def test_variance_weighted_aggregation(benchmark):
+    rng = np.random.default_rng(1)
+    client_logits = [rng.normal(size=(5000, 100)) for _ in range(10)]
+    out = benchmark(variance_weighted_aggregate, client_logits)
+    assert out.shape == (5000, 100)
+
+
+def test_prototype_filtering(benchmark):
+    rng = np.random.default_rng(2)
+    feats = rng.normal(size=(5000, 64))
+    logits = rng.normal(size=(5000, 100))
+    protos = rng.normal(size=(100, 64))
+    result = benchmark(prototype_filter, feats, logits, protos, 0.7)
+    assert result.num_selected > 0

@@ -1,0 +1,71 @@
+"""Heterogeneous-device scenario: the paper's motivating IoT setting.
+
+A fleet of devices with unequal compute runs three different model
+architectures (small / medium / large — the ResNet-11/20/29 roles).  Weight
+averaging (FedAvg) is impossible here; we compare the KD-based methods that
+tolerate heterogeneity: FedPKD, FedMD, DS-FL, and FedET, on the same
+non-IID federation.
+
+Run:  python examples/heterogeneous_clients.py [--rounds N]
+"""
+
+import argparse
+
+from repro.algorithms import algorithm_supports, build_algorithm
+from repro.data import synthetic_cifar10
+from repro.experiments import format_table
+from repro.fl import FederationConfig, build_federation
+
+ALGORITHMS = ("fedpkd", "fedmd", "dsfl", "fedet")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--alpha", type=float, default=0.2)
+    parser.add_argument("--epoch-scale", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    bundle = synthetic_cifar10(n_train=1600, n_test=500, n_public=400, seed=args.seed)
+
+    rows = []
+    for name in ALGORITHMS:
+        server_model = "mlp_xlarge" if algorithm_supports(name, "server_model") else None
+        config = FederationConfig(
+            num_clients=6,
+            partition=("dirichlet", {"alpha": args.alpha}),
+            client_models=["mlp_small", "mlp_medium", "mlp_large"],
+            server_model=server_model,
+            seed=args.seed,
+        )
+        federation = build_federation(bundle, config)
+        sizes = sorted({c.model.num_parameters() for c in federation.clients})
+        algo = build_algorithm(
+            name, federation, seed=args.seed, epoch_scale=args.epoch_scale
+        )
+        history = algo.run(rounds=args.rounds)
+        rows.append(
+            [
+                name,
+                "/".join(str(s) for s in sizes),
+                history.best_server_acc if server_model else None,
+                history.best_client_acc,
+                history.records[-1].comm_total_mb,
+            ]
+        )
+        print(f"[{name}] done")
+
+    print()
+    print(
+        format_table(
+            ["algorithm", "client params", "S_acc", "C_acc", "comm MB"],
+            rows,
+            title=f"Heterogeneous clients, Dirichlet(alpha={args.alpha}), "
+            f"{args.rounds} rounds",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

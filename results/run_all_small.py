@@ -1,0 +1,57 @@
+"""Run every figure/table experiment at the 'small' scale and save outputs."""
+import json, sys, time
+import numpy as np
+from repro.experiments import (
+    fig1_motivation, fig2_logit_quality, fig3_comm_vs_publicsize,
+    fig5_homogeneous, fig6_curves, fig7_heterogeneous,
+    fig8_ablation, fig9_theta, fig10_delta, table1_comm,
+)
+
+SCALE = "small"
+out = {}
+
+def run(name, fn, **kw):
+    t0 = time.time()
+    print(f"=== {name} ===", flush=True)
+    res = fn(scale=SCALE, seed=0, **kw)
+    print(f"--- {name} done in {time.time()-t0:.0f}s", flush=True)
+    return res
+
+out["fig1"] = run("fig1", fig1_motivation.run, datasets=("cifar10", "cifar100"))
+print(fig1_motivation.as_table(out["fig1"]), flush=True)
+
+r2 = run("fig2", fig2_logit_quality.run, local_epochs=40)
+out["fig2"] = {k: np.asarray(v).tolist() for k, v in r2.items()}
+np.set_printoptions(precision=2, suppress=True)
+print("client1:", np.array(r2["client_acc"][0]))
+print("client2:", np.array(r2["client_acc"][1]))
+print("equal-avg:", np.array(r2["aggregated_acc"]))
+print("var-weighted:", np.array(r2["variance_weighted_acc"]), flush=True)
+
+out["fig3"] = run("fig3", fig3_comm_vs_publicsize.run, public_sizes=(150, 300, 600, 1200))
+print(fig3_comm_vs_publicsize.as_table(out["fig3"]), flush=True)
+
+out["fig5"] = run("fig5", fig5_homogeneous.run, datasets=("cifar10", "cifar100"))
+print(fig5_homogeneous.as_table(out["fig5"]), flush=True)
+
+out["fig6"] = run("fig6", fig6_curves.run)
+print(fig6_curves.as_table(out["fig6"]), flush=True)
+
+out["fig7"] = run("fig7", fig7_heterogeneous.run, datasets=("cifar10", "cifar100"))
+print(fig7_heterogeneous.as_table(out["fig7"]), flush=True)
+
+out["table1"] = run("table1", table1_comm.run, datasets=("cifar10", "cifar100"))
+print(table1_comm.as_table(out["table1"]), flush=True)
+
+out["fig8"] = run("fig8", fig8_ablation.run, datasets=("cifar10", "cifar100"))
+print(fig8_ablation.as_table(out["fig8"]), flush=True)
+
+out["fig9"] = run("fig9", fig9_theta.run, datasets=("cifar10", "cifar100"))
+print(fig9_theta.as_table(out["fig9"]), flush=True)
+
+out["fig10"] = run("fig10", fig10_delta.run, datasets=("cifar10", "cifar100"))
+print(fig10_delta.as_table(out["fig10"]), flush=True)
+
+with open("/root/repo/results/small_scale_results.json", "w") as f:
+    json.dump(out, f, indent=1, default=float)
+print("ALL DONE", flush=True)

@@ -1,0 +1,49 @@
+"""FedPKD reproduction: prototype-based knowledge distillation for
+heterogeneous federated learning (ICDCS 2023).
+
+Quickstart::
+
+    from repro.data import synthetic_cifar10
+    from repro.fl import FederationConfig, build_federation
+    from repro.algorithms import build_algorithm
+
+    bundle = synthetic_cifar10(seed=0)
+    fed = build_federation(bundle, FederationConfig(num_clients=8))
+    algo = build_algorithm("fedpkd", fed, epoch_scale=0.2)
+    history = algo.run(rounds=10)
+    print(history.final_server_acc, history.final_client_acc)
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch numpy autograd, layers, models, optimisers, losses.
+``repro.data``
+    Synthetic CIFAR-like tasks, non-IID partitioners, loaders.
+``repro.fl``
+    Federated simulation framework with communication accounting.
+``repro.core``
+    FedPKD itself: dual knowledge transfer, variance-weighted aggregation,
+    prototype aggregation, data filtering, ensemble distillation.
+``repro.baselines``
+    FedAvg, FedProx, FedMD, DS-FL, FedDF, FedET, and the naive-KD pilot.
+``repro.experiments``
+    Runners that regenerate every figure and table of the paper.
+"""
+
+from . import analysis, baselines, core, data, fl, nn
+from .algorithms import ALGORITHMS, algorithm_supports, build_algorithm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "data",
+    "fl",
+    "core",
+    "baselines",
+    "analysis",
+    "ALGORITHMS",
+    "build_algorithm",
+    "algorithm_supports",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Diagnostics for FedPKD deployments: prototype geometry, client
+similarity/communities, and logit-quality reports."""
+
+from .classification import (
+    confusion_matrix,
+    per_class_recall_precision,
+    top_k_accuracy,
+)
+from .clients import (
+    build_client_graph,
+    client_communities,
+    label_distribution_similarity,
+    prototype_similarity,
+)
+from .fairness import FairnessReport, fairness_report, history_fairness
+from .logits import LogitQualityReport, logit_quality_report, per_class_accuracy
+from .prototypes import SeparationReport, prototype_drift, prototype_separation
+
+__all__ = [
+    "prototype_separation",
+    "prototype_drift",
+    "SeparationReport",
+    "label_distribution_similarity",
+    "prototype_similarity",
+    "build_client_graph",
+    "client_communities",
+    "per_class_accuracy",
+    "logit_quality_report",
+    "LogitQualityReport",
+    "confusion_matrix",
+    "top_k_accuracy",
+    "per_class_recall_precision",
+    "FairnessReport",
+    "fairness_report",
+    "history_fairness",
+]

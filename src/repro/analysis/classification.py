@@ -1,0 +1,56 @@
+"""Classification metrics beyond top-1 accuracy."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["confusion_matrix", "top_k_accuracy", "per_class_recall_precision"]
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Row = true class, column = predicted class, counts."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must align")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose true label is in the top-k logits."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2 or len(logits) != len(labels):
+        raise ValueError("logits must be (N, C) aligned with labels")
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError(f"k must be in [1, {logits.shape[1]}], got {k}")
+    if len(labels) == 0:
+        return 0.0
+    top = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float((top == labels[:, None]).any(axis=1).mean())
+
+
+def per_class_recall_precision(
+    matrix: np.ndarray,
+) -> tuple:
+    """Return ``(recall, precision)`` arrays from a confusion matrix.
+
+    Classes with no true (resp. predicted) samples get NaN recall
+    (resp. precision).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("confusion matrix must be square")
+    diag = np.diag(matrix)
+    row_sums = matrix.sum(axis=1)
+    col_sums = matrix.sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        recall = np.where(row_sums > 0, diag / row_sums, np.nan)
+        precision = np.where(col_sums > 0, diag / col_sums, np.nan)
+    return recall, precision

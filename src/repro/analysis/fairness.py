@@ -1,0 +1,70 @@
+"""Fairness diagnostics across the client population.
+
+FL methods can raise the *mean* client accuracy while leaving some clients
+far behind; these summaries quantify the spread.  The literature commonly
+reports the accuracy variance/std across clients (e.g. q-FFL) — we add the
+worst-decile accuracy and a Jain fairness index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..fl.metrics import RunHistory
+
+__all__ = ["FairnessReport", "fairness_report"]
+
+
+@dataclass
+class FairnessReport:
+    """Distributional summary of per-client accuracies."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    worst_decile_mean: float
+    jain_index: float
+
+    @property
+    def spread(self) -> float:
+        return self.max - self.min
+
+
+def fairness_report(accuracies: Sequence[float]) -> FairnessReport:
+    """Summarise per-client accuracies into a :class:`FairnessReport`.
+
+    The Jain index ``(Σx)² / (n·Σx²)`` is 1.0 when all clients are equally
+    served and approaches ``1/n`` under maximal inequality.
+    """
+    acc = np.asarray(list(accuracies), dtype=np.float64)
+    if acc.size == 0:
+        raise ValueError("no client accuracies given")
+    if (acc < 0).any():
+        raise ValueError("accuracies must be non-negative")
+    n_decile = max(1, int(np.ceil(acc.size / 10)))
+    worst = np.sort(acc)[:n_decile]
+    sum_sq = float((acc**2).sum())
+    jain = float(acc.sum() ** 2 / (acc.size * sum_sq)) if sum_sq > 0 else 1.0
+    return FairnessReport(
+        mean=float(acc.mean()),
+        std=float(acc.std()),
+        min=float(acc.min()),
+        max=float(acc.max()),
+        worst_decile_mean=float(worst.mean()),
+        jain_index=jain,
+    )
+
+
+def history_fairness(history: RunHistory, round_index: int = -1) -> FairnessReport:
+    """Fairness report for one recorded round (default: the last)."""
+    if not history.records:
+        raise ValueError("history has no records")
+    record = history.records[round_index]
+    return fairness_report(record.client_accs)
+
+
+__all__.append("history_fairness")

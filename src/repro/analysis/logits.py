@@ -1,0 +1,71 @@
+"""Logit-quality diagnostics, generalising the paper's Fig. 2 analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["per_class_accuracy", "LogitQualityReport", "logit_quality_report"]
+
+
+def per_class_accuracy(
+    logits: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Accuracy of ``argmax(logits)`` per true class; NaN for absent classes."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if len(logits) != len(labels):
+        raise ValueError("logits and labels must align")
+    predictions = logits.argmax(axis=1)
+    accs = np.full(num_classes, np.nan)
+    for cls in range(num_classes):
+        mask = labels == cls
+        if mask.any():
+            accs[cls] = float((predictions[mask] == cls).mean())
+    return accs
+
+
+@dataclass
+class LogitQualityReport:
+    """Comparison of per-client and aggregated logit quality.
+
+    ``client_acc[c, j]`` is client ``c``'s accuracy on true class ``j``;
+    ``aggregated_acc[j]`` is the aggregate's.  ``mean_confidence[c]`` is
+    each client's mean max-softmax probability (a calibration proxy).
+    """
+
+    client_acc: np.ndarray
+    aggregated_acc: np.ndarray
+    mean_confidence: np.ndarray
+
+    @property
+    def overall_client_acc(self) -> np.ndarray:
+        return np.nanmean(self.client_acc, axis=1)
+
+    @property
+    def overall_aggregated_acc(self) -> float:
+        return float(np.nanmean(self.aggregated_acc))
+
+
+def logit_quality_report(
+    client_logits: Sequence[np.ndarray],
+    aggregated_logits: np.ndarray,
+    true_labels: np.ndarray,
+    num_classes: int,
+) -> LogitQualityReport:
+    """Build a quality report for a set of client logits and their aggregate."""
+    client_acc = np.stack(
+        [per_class_accuracy(l, true_labels, num_classes) for l in client_logits]
+    )
+    confidences = []
+    for logits in client_logits:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=1, keepdims=True)
+        confidences.append(float(probs.max(axis=1).mean()))
+    return LogitQualityReport(
+        client_acc=client_acc,
+        aggregated_acc=per_class_accuracy(aggregated_logits, true_labels, num_classes),
+        mean_confidence=np.asarray(confidences),
+    )

@@ -1,0 +1,31 @@
+"""Baseline FL algorithms the paper compares FedPKD against."""
+
+from .dsfl import DSFL, DSFLConfig
+from .fedavg import FedAvg, FedAvgConfig
+from .feddf import FedDF, FedDFConfig
+from .fedet import FedET, FedETConfig
+from .fedmd import FedMD, FedMDConfig
+from .fedproto import FedProto, FedProtoConfig
+from .fedprox import FedProx, FedProxConfig
+from .model_averaging import weighted_average_states
+from .naive_kd import NaiveKD, NaiveKDConfig
+
+__all__ = [
+    "FedAvg",
+    "FedAvgConfig",
+    "FedProx",
+    "FedProxConfig",
+    "FedProto",
+    "FedProtoConfig",
+    "FedMD",
+    "FedMDConfig",
+    "DSFL",
+    "DSFLConfig",
+    "FedDF",
+    "FedDFConfig",
+    "FedET",
+    "FedETConfig",
+    "NaiveKD",
+    "NaiveKDConfig",
+    "weighted_average_states",
+]

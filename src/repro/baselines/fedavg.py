@@ -1,0 +1,69 @@
+"""FedAvg (McMahan et al., 2017) — the classic parameter-averaging baseline.
+
+Each round the server broadcasts the global weights, clients run local SGD
+on private data, upload their weights, and the server replaces the global
+model with the dataset-size-weighted average (Eq. 1).  Requires homogeneous
+client/server architectures; the paper runs it with ResNet-20 everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..fl.client import FLClient
+from ..fl.config import TrainingConfig
+from ..fl.simulation import Federation, FederatedAlgorithm
+from .model_averaging import weighted_average_states
+
+__all__ = ["FedAvgConfig", "FedAvg"]
+
+
+@dataclass
+class FedAvgConfig:
+    """Paper defaults: 10 local epochs, Adam, lr=1e-3, B=32."""
+
+    local: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(epochs=10, batch_size=32, lr=1e-3)
+    )
+
+
+class FedAvg(FederatedAlgorithm):
+    name = "fedavg"
+
+    def __init__(
+        self, federation: Federation, config: Optional[FedAvgConfig] = None, seed: int = 0
+    ) -> None:
+        super().__init__(federation, seed=seed)
+        if not federation.server.has_model:
+            raise ValueError("FedAvg needs a server model to hold the global weights")
+        self.config = config or FedAvgConfig()
+        self._check_homogeneous()
+
+    def _check_homogeneous(self) -> None:
+        global_keys = set(self.server.model.state_dict())
+        for client in self.clients:
+            if set(client.model.state_dict()) != global_keys:
+                raise ValueError(
+                    "FedAvg requires identical architectures on every client "
+                    "and the server"
+                )
+
+    def _local_training(self, client: FLClient, reference: Dict) -> None:
+        """Hook overridden by FedProx to add the proximal term."""
+        client.train_local(self.config.local)
+
+    def run_round(self, participants: List[FLClient]) -> Dict[str, float]:
+        global_state = self.server.model.state_dict()
+        states, sizes = [], []
+        for client in participants:
+            self.channel.download(client.client_id, global_state)
+            client.model.load_state_dict(global_state)
+            self._local_training(client, global_state)
+            state = client.model.state_dict()
+            self.channel.upload(client.client_id, state)
+            states.append(state)
+            sizes.append(client.num_samples)
+        averaged = weighted_average_states(states, sizes)
+        self.server.model.load_state_dict(averaged)
+        return {"participants": float(len(participants))}

@@ -1,0 +1,65 @@
+"""FedMD (Li & Wang, 2019): heterogeneous FL via logit consensus.
+
+There is no server model.  Each round clients train locally, send their
+logits on the public set, the server averages them into a consensus, and
+every client *digests* the consensus by distilling toward it on the public
+set before the next round's local (*revisit*) training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.aggregation import equal_average_aggregate
+from ..fl.client import FLClient
+from ..fl.config import TrainingConfig
+from ..fl.simulation import Federation, FederatedAlgorithm
+
+__all__ = ["FedMDConfig", "FedMD"]
+
+
+@dataclass
+class FedMDConfig:
+    """Paper defaults: 10 local epochs, 20 digest epochs."""
+
+    local: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(epochs=10, batch_size=32, lr=1e-3)
+    )
+    digest: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(epochs=20, batch_size=32, lr=1e-3)
+    )
+    kd_weight: float = 1.0  # pure distillation toward the consensus
+    temperature: float = 1.0
+
+
+class FedMD(FederatedAlgorithm):
+    name = "fedmd"
+
+    def __init__(
+        self, federation: Federation, config: Optional[FedMDConfig] = None, seed: int = 0
+    ) -> None:
+        super().__init__(federation, seed=seed)
+        self.config = config or FedMDConfig()
+
+    def run_round(self, participants: List[FLClient]) -> Dict[str, float]:
+        cfg = self.config
+        logits_list = []
+        for client in participants:
+            client.train_local(cfg.local)
+            logits = client.logits_on(self.public_x)
+            self.channel.upload(client.client_id, {"logits": logits})
+            logits_list.append(logits)
+        consensus = equal_average_aggregate(logits_list)
+        for client in participants:
+            self.channel.download(client.client_id, {"consensus": consensus})
+            client.train_public_distill(
+                self.public_x,
+                consensus,
+                cfg.digest,
+                kd_weight=cfg.kd_weight,
+                temperature=cfg.temperature,
+            )
+        return {"participants": float(len(participants))}

@@ -1,0 +1,82 @@
+"""FedProto (Tan et al., 2021): federated prototype learning.
+
+Discussed in the paper's related work: clients exchange **only prototypes**
+— no model weights, no logits, no public dataset.  Each round clients train
+locally with CE plus a regulariser pulling features toward the global
+prototypes, upload their per-class prototypes, and the server aggregates
+them (data-size weighted) and broadcasts the result.  There is no server
+model, so only the personalised client metric applies; communication per
+round is a few KB, the cheapest of all methods here.
+
+FedPKD subsumes this prototype loop (its Eq. 16 matches FedProto's local
+objective) and adds the logit/distillation pathway on top; having FedProto
+as a baseline isolates what the prototypes alone contribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.prototypes import aggregate_prototypes, merge_prototypes, prototype_coverage
+from ..fl.client import FLClient
+from ..fl.config import TrainingConfig
+from ..fl.simulation import Federation, FederatedAlgorithm
+
+__all__ = ["FedProtoConfig", "FedProto"]
+
+
+@dataclass
+class FedProtoConfig:
+    local: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(epochs=10, batch_size=32, lr=1e-3)
+    )
+    # weight of the prototype regulariser in the local objective
+    proto_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.proto_weight < 0:
+            raise ValueError("proto_weight must be non-negative")
+
+
+class FedProto(FederatedAlgorithm):
+    name = "fedproto"
+
+    def __init__(
+        self, federation: Federation, config: Optional[FedProtoConfig] = None, seed: int = 0
+    ) -> None:
+        super().__init__(federation, seed=seed)
+        self.config = config or FedProtoConfig()
+        self.global_prototypes: Optional[np.ndarray] = None
+
+    def run_round(self, participants: List[FLClient]) -> Dict[str, float]:
+        cfg = self.config
+        protos_list, counts_list = [], []
+        for client in participants:
+            use_protos = self.global_prototypes is not None and cfg.proto_weight > 0
+            client.train_local(
+                cfg.local,
+                prototypes=self.global_prototypes if use_protos else None,
+                prototype_weight=cfg.proto_weight if use_protos else 0.0,
+            )
+            protos = client.compute_prototypes()
+            counts = client.class_counts()
+            present = prototype_coverage(protos)
+            self.channel.upload(
+                client.client_id,
+                {"prototypes": protos[present], "class_counts": counts},
+            )
+            protos_list.append(protos)
+            counts_list.append(counts)
+        new_protos = aggregate_prototypes(protos_list, counts_list)
+        self.global_prototypes = merge_prototypes(new_protos, self.global_prototypes)
+        covered = prototype_coverage(self.global_prototypes)
+        payload = {"global_prototypes": self.global_prototypes[covered]}
+        for client in participants:
+            self.channel.download(client.client_id, payload)
+        return {
+            "participants": float(len(participants)),
+            "proto_coverage": float(covered.mean()),
+        }

@@ -1,0 +1,43 @@
+"""Weighted model-state averaging used by FedAvg/FedProx/FedDF (Eq. 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["weighted_average_states"]
+
+
+def weighted_average_states(
+    states: Sequence[Dict[str, np.ndarray]], weights: Sequence[float]
+) -> Dict[str, np.ndarray]:
+    """Average state-dicts entry-wise with the given non-negative weights.
+
+    Implements Eq. 1 when weights are the client dataset sizes.  All state
+    dicts must share keys and shapes (homogeneous models).
+    """
+    if len(states) == 0:
+        raise ValueError("no states to average")
+    if len(states) != len(weights):
+        raise ValueError("states and weights must align")
+    weights = np.asarray(weights, dtype=np.float64)
+    if (weights < 0).any():
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights sum to zero")
+    normalized = weights / total
+
+    keys = set(states[0])
+    for state in states[1:]:
+        if set(state) != keys:
+            raise KeyError("state dicts have mismatched keys; models not homogeneous")
+
+    averaged: Dict[str, np.ndarray] = {}
+    for key in keys:
+        averaged[key] = sum(
+            w * np.asarray(state[key], dtype=np.float64)
+            for w, state in zip(normalized, states)
+        )
+    return averaged

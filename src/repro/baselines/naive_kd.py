@@ -1,0 +1,69 @@
+"""The plain KD-based FL method from the paper's motivation (Sec. II-B).
+
+Clients train locally, upload logits on the public set, the server equal-
+averages them (Eq. 3) and distils the average into the server model with no
+prototypes, filtering, or quality weighting.  This is the "KD-based method"
+of Fig. 1 and the reference point FedPKD improves on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.aggregation import equal_average_aggregate
+from ..fl.client import FLClient
+from ..fl.config import TrainingConfig
+from ..fl.simulation import Federation, FederatedAlgorithm
+
+__all__ = ["NaiveKDConfig", "NaiveKD"]
+
+
+@dataclass
+class NaiveKDConfig:
+    local: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(epochs=10, batch_size=32, lr=1e-3)
+    )
+    server: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(epochs=20, batch_size=32, lr=1e-3)
+    )
+    public: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(epochs=5, batch_size=32, lr=1e-3)
+    )
+    kd_weight: float = 1.0
+    distill_to_clients: bool = True
+
+
+class NaiveKD(FederatedAlgorithm):
+    name = "naive_kd"
+
+    def __init__(
+        self, federation: Federation, config: Optional[NaiveKDConfig] = None, seed: int = 0
+    ) -> None:
+        super().__init__(federation, seed=seed)
+        if not federation.server.has_model:
+            raise ValueError("NaiveKD distils into a server model; none was built")
+        self.config = config or NaiveKDConfig()
+
+    def run_round(self, participants: List[FLClient]) -> Dict[str, float]:
+        cfg = self.config
+        logits_list = []
+        for client in participants:
+            client.train_local(cfg.local)
+            logits = client.logits_on(self.public_x)
+            self.channel.upload(client.client_id, {"logits": logits})
+            logits_list.append(logits)
+        aggregated = equal_average_aggregate(logits_list)
+        loss = self.server.train_distill(
+            self.public_x, aggregated, cfg.server, kd_weight=cfg.kd_weight
+        )
+        if cfg.distill_to_clients:
+            server_logits = self.server.logits_on(self.public_x)
+            for client in participants:
+                self.channel.download(
+                    client.client_id, {"server_logits": server_logits}
+                )
+                client.train_public_distill(
+                    self.public_x, server_logits, cfg.public, kd_weight=cfg.kd_weight
+                )
+        return {"participants": float(len(participants)), "server_loss": loss}

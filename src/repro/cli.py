@@ -1,0 +1,115 @@
+"""Command-line interface.
+
+Two subcommands::
+
+    python -m repro run --algorithm fedpkd --dataset cifar10 \
+        --partition dir0.1 --scale tiny --rounds 5 --out history.json
+
+    python -m repro experiment fig5 --scale small
+
+``run`` executes one algorithm and writes its RunHistory as JSON;
+``experiment`` regenerates one paper figure/table and prints its rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .algorithms import ALGORITHMS
+from .experiments import (
+    PARTITIONS,
+    SCALES,
+    ExperimentSetting,
+    fig1_motivation,
+    fig2_logit_quality,
+    fig3_comm_vs_publicsize,
+    fig5_homogeneous,
+    fig6_curves,
+    fig7_heterogeneous,
+    fig8_ablation,
+    fig9_theta,
+    fig10_delta,
+    run_algorithm,
+    table1_comm,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1_motivation,
+    "fig2": fig2_logit_quality,
+    "fig3": fig3_comm_vs_publicsize,
+    "fig5": fig5_homogeneous,
+    "fig6": fig6_curves,
+    "fig7": fig7_heterogeneous,
+    "fig8": fig8_ablation,
+    "fig9": fig9_theta,
+    "fig10": fig10_delta,
+    "table1": table1_comm,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FedPKD reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one FL algorithm and save its history")
+    run_p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="fedpkd")
+    run_p.add_argument("--dataset", choices=("cifar10", "cifar100"), default="cifar10")
+    run_p.add_argument("--partition", choices=sorted(PARTITIONS), default="dir0.5")
+    run_p.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    run_p.add_argument("--heterogeneous", action="store_true")
+    run_p.add_argument("--rounds", type=int, default=None)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--out", default=None, help="path for the history JSON")
+    run_p.add_argument("--verbose", action="store_true")
+
+    exp_p = sub.add_parser("experiment", help="regenerate one paper figure/table")
+    exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp_p.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    exp_p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    setting = ExperimentSetting(
+        dataset=args.dataset,
+        partition=args.partition,
+        heterogeneous=args.heterogeneous,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    history = run_algorithm(setting, args.algorithm, rounds=args.rounds)
+    last = history.records[-1]
+    print(
+        f"{args.algorithm} on {args.dataset}/{args.partition}: "
+        f"S_acc={history.final_server_acc:.3f} "
+        f"C_acc={history.final_client_acc:.3f} "
+        f"comm={last.comm_total_mb:.2f}MB over {len(history)} rounds"
+    )
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(history.to_dict(), f, indent=2)
+        print(f"history written to {args.out}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = EXPERIMENTS[args.name]
+    module.main(scale=args.scale, seed=args.seed)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_experiment(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

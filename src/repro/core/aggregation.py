@@ -1,0 +1,106 @@
+"""Client-logit aggregation rules.
+
+FedPKD's variance-weighted ensemble (Eqs. 6–7) plus the simpler rules the
+benchmarks and ablations use: equal averaging (Eq. 3 / FedMD) and DS-FL's
+entropy-reduction aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "variance_weighted_aggregate",
+    "equal_average_aggregate",
+    "entropy_reduction_aggregate",
+    "entropy_weighted_aggregate",
+    "logit_variances",
+]
+
+
+def _stack(client_logits: Sequence[np.ndarray]) -> np.ndarray:
+    if len(client_logits) == 0:
+        raise ValueError("no client logits to aggregate")
+    stacked = np.stack([np.asarray(l, dtype=np.float64) for l in client_logits])
+    if stacked.ndim != 3:
+        raise ValueError("each client's logits must be (num_samples, num_classes)")
+    return stacked
+
+
+def logit_variances(client_logits: Sequence[np.ndarray]) -> np.ndarray:
+    """Per-client, per-sample variance of the logit vector (Eq. 7 numerator).
+
+    A confident model produces a peaked logit vector with high variance
+    across classes; the paper uses that variance as the sample-level quality
+    score.  Returns shape ``(num_clients, num_samples)``.
+    """
+    stacked = _stack(client_logits)
+    return stacked.var(axis=2)
+
+
+def variance_weighted_aggregate(client_logits: Sequence[np.ndarray]) -> np.ndarray:
+    """FedPKD's aggregation (Eq. 6): per-sample variance-weighted mean.
+
+    ``beta_c(x_i) = Var(M_c(x_i)) / sum_k Var(M_k(x_i))``.  If every client
+    has zero variance on a sample (degenerate), falls back to equal weights.
+    """
+    stacked = _stack(client_logits)
+    variances = stacked.var(axis=2)  # (C, S)
+    totals = variances.sum(axis=0, keepdims=True)  # (1, S)
+    num_clients = stacked.shape[0]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        weights = np.where(totals > 0, variances / totals, 1.0 / num_clients)
+    return np.einsum("cs,csn->sn", weights, stacked)
+
+
+def equal_average_aggregate(client_logits: Sequence[np.ndarray]) -> np.ndarray:
+    """Plain mean of client logits (Eq. 3; FedMD-style consensus)."""
+    return _stack(client_logits).mean(axis=0)
+
+
+def entropy_weighted_aggregate(client_logits: Sequence[np.ndarray]) -> np.ndarray:
+    """Extension (paper future work): confidence weights from prediction entropy.
+
+    Like Eq. 6 but scoring each client's per-sample quality by the *negative
+    entropy* of its softmax prediction instead of the raw logit variance —
+    a scale-invariant confidence measure that is robust to clients whose
+    logit magnitudes differ (e.g. heterogeneous architectures).
+    """
+    stacked = _stack(client_logits)
+    shifted = stacked - stacked.max(axis=2, keepdims=True)
+    probs = np.exp(shifted)
+    probs /= probs.sum(axis=2, keepdims=True)
+    entropy = -(probs * np.log(probs + 1e-12)).sum(axis=2)  # (C, S)
+    max_entropy = np.log(stacked.shape[2])
+    confidence = max_entropy - entropy  # >= 0, higher = more confident
+    totals = confidence.sum(axis=0, keepdims=True)
+    num_clients = stacked.shape[0]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        weights = np.where(totals > 0, confidence / totals, 1.0 / num_clients)
+    return np.einsum("cs,csn->sn", weights, stacked)
+
+
+def entropy_reduction_aggregate(
+    client_logits: Sequence[np.ndarray], temperature: float = 0.1
+) -> np.ndarray:
+    """DS-FL's ERA: average client *probabilities*, then sharpen them.
+
+    The averaged distribution is re-normalised through a low-temperature
+    softmax of its log, reducing its entropy; returns *log-probabilities*
+    usable as logits.  ``temperature < 1`` sharpens (the DS-FL paper uses
+    T=0.1).
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    stacked = _stack(client_logits)
+    shifted = stacked - stacked.max(axis=2, keepdims=True)
+    probs = np.exp(shifted)
+    probs /= probs.sum(axis=2, keepdims=True)
+    mean_probs = probs.mean(axis=0)
+    logp = np.log(mean_probs + 1e-12) / temperature
+    logp -= logp.max(axis=1, keepdims=True)
+    sharpened = np.exp(logp)
+    sharpened /= sharpened.sum(axis=1, keepdims=True)
+    return np.log(sharpened + 1e-12)

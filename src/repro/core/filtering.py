@@ -1,0 +1,101 @@
+"""Prototype-based data filtering (paper Algorithm 1, Eqs. 9–10).
+
+The server pseudo-labels every public sample from the aggregated logits,
+measures how far the sample's feature vector (under the *server* model's
+representation layer) lies from the global prototype of its pseudo-label,
+and keeps only the closest ``select_ratio`` fraction per class.  Samples
+far from their prototype either carry wrong pseudo-labels or low-quality
+knowledge; dropping them improves server training and shrinks the logits
+the server later sends back to clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .prototypes import prototype_coverage, prototype_distances
+
+__all__ = ["FilterResult", "prototype_filter", "random_filter"]
+
+
+@dataclass
+class FilterResult:
+    """Outcome of a filtering pass over the public dataset."""
+
+    selected: np.ndarray  # indices into the public set, sorted ascending
+    pseudo_labels: np.ndarray  # pseudo-labels of the *selected* samples
+    distances: np.ndarray  # prototype distance of every public sample (NaN = no prototype)
+
+    @property
+    def num_selected(self) -> int:
+        return len(self.selected)
+
+
+def prototype_filter(
+    features: np.ndarray,
+    aggregated_logits: np.ndarray,
+    prototypes: np.ndarray,
+    select_ratio: float,
+) -> FilterResult:
+    """Run Algorithm 1.
+
+    Parameters
+    ----------
+    features:
+        Server-model feature vectors of the public samples,
+        shape ``(num_public, feature_dim)``.
+    aggregated_logits:
+        Aggregated client logits ``S(x_i)``, shape ``(num_public, num_classes)``;
+        pseudo-labels are their argmax (Eq. 9).
+    prototypes:
+        Global prototypes ``(num_classes, feature_dim)``; NaN rows allowed.
+    select_ratio:
+        The paper's θ — fraction of each pseudo-class kept (closest first).
+        Classes whose prototype is missing keep all their samples (there is
+        no distance signal to rank them by).
+    """
+    if not 0.0 < select_ratio <= 1.0:
+        raise ValueError(f"select_ratio must be in (0, 1], got {select_ratio}")
+    if len(features) != len(aggregated_logits):
+        raise ValueError("features and logits must cover the same samples")
+    pseudo = aggregated_logits.argmax(axis=1).astype(np.int64)
+    distances = prototype_distances(features, prototypes, pseudo)
+    covered = prototype_coverage(prototypes)
+
+    keep: list = []
+    for cls in np.unique(pseudo):
+        cls_idx = np.flatnonzero(pseudo == cls)
+        if not covered[cls]:
+            keep.append(cls_idx)
+            continue
+        n_keep = max(1, int(np.floor(select_ratio * len(cls_idx))))
+        order = np.argsort(distances[cls_idx], kind="stable")
+        keep.append(cls_idx[order[:n_keep]])
+    selected = np.sort(np.concatenate(keep)) if keep else np.empty(0, dtype=np.int64)
+    return FilterResult(
+        selected=selected.astype(np.int64),
+        pseudo_labels=pseudo[selected],
+        distances=distances,
+    )
+
+
+def random_filter(
+    num_samples: int,
+    aggregated_logits: np.ndarray,
+    select_ratio: float,
+    rng: np.random.Generator,
+) -> FilterResult:
+    """Ablation comparator: keep a uniformly random ``select_ratio`` subset."""
+    if not 0.0 < select_ratio <= 1.0:
+        raise ValueError(f"select_ratio must be in (0, 1], got {select_ratio}")
+    n_keep = max(1, int(np.floor(select_ratio * num_samples)))
+    selected = np.sort(rng.choice(num_samples, size=n_keep, replace=False))
+    pseudo = aggregated_logits.argmax(axis=1).astype(np.int64)
+    return FilterResult(
+        selected=selected.astype(np.int64),
+        pseudo_labels=pseudo[selected],
+        distances=np.full(num_samples, np.nan),
+    )

@@ -1,0 +1,104 @@
+"""Prototype computation and aggregation (paper Eqs. 5 and 8).
+
+A prototype is the mean feature-space representation of one class.  Clients
+compute local prototypes over their private data
+(:meth:`repro.fl.FLClient.compute_prototypes`); the server merges the
+overlapping per-class prototypes from all clients into global prototypes.
+
+Prototype matrices are dense ``(num_classes, feature_dim)`` arrays with NaN
+rows marking classes a client (or the federation) has no data for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "aggregate_prototypes",
+    "prototype_coverage",
+    "merge_prototypes",
+    "prototype_distances",
+]
+
+
+def aggregate_prototypes(
+    client_prototypes: Sequence[np.ndarray],
+    client_class_counts: Sequence[np.ndarray],
+    paper_literal: bool = False,
+) -> np.ndarray:
+    """Aggregate per-client prototypes into global prototypes (Eq. 8).
+
+    For each class ``j``, the clients holding samples of ``j`` contribute
+    their local prototype weighted by their sample count ``|D_c^j|``.
+
+    Eq. 8 as printed divides the weighted mean by ``|C_j|`` a second time,
+    which would shrink prototypes toward the origin as more clients share a
+    class; we read that as a typo and default to the plain data-weighted
+    mean.  Set ``paper_literal=True`` to follow the printed formula exactly.
+
+    Parameters
+    ----------
+    client_prototypes:
+        One ``(num_classes, feature_dim)`` array per client; NaN rows for
+        absent classes.
+    client_class_counts:
+        One ``(num_classes,)`` integer array per client.
+    """
+    if len(client_prototypes) == 0:
+        raise ValueError("no client prototypes to aggregate")
+    if len(client_prototypes) != len(client_class_counts):
+        raise ValueError("prototypes and counts must align per client")
+    num_classes, feature_dim = client_prototypes[0].shape
+    global_protos = np.full((num_classes, feature_dim), np.nan)
+    for cls in range(num_classes):
+        weighted = np.zeros(feature_dim)
+        total_count = 0.0
+        contributors = 0
+        for protos, counts in zip(client_prototypes, client_class_counts):
+            count = float(counts[cls])
+            if count <= 0 or np.isnan(protos[cls]).any():
+                continue
+            weighted += count * protos[cls]
+            total_count += count
+            contributors += 1
+        if contributors == 0:
+            continue
+        mean = weighted / total_count
+        if paper_literal:
+            mean = mean / contributors
+        global_protos[cls] = mean
+    return global_protos
+
+
+def prototype_coverage(prototypes: np.ndarray) -> np.ndarray:
+    """Boolean mask of classes that have a (non-NaN) prototype."""
+    return ~np.isnan(prototypes).any(axis=1)
+
+
+def merge_prototypes(
+    primary: np.ndarray, fallback: Optional[np.ndarray]
+) -> np.ndarray:
+    """Fill NaN rows of ``primary`` from ``fallback`` (e.g. last round's).
+
+    Keeps global prototypes usable when a round's participants jointly miss
+    some class (partial participation / failure injection).
+    """
+    if fallback is None:
+        return primary
+    merged = primary.copy()
+    missing = ~prototype_coverage(primary)
+    merged[missing] = fallback[missing]
+    return merged
+
+
+def prototype_distances(features: np.ndarray, prototypes: np.ndarray,
+                        labels: np.ndarray) -> np.ndarray:
+    """L2 distance of each feature vector to its label's prototype (Eq. 10).
+
+    Distances for labels without a prototype come back as NaN.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    targets = prototypes[labels]
+    return np.linalg.norm(features - targets, axis=1)

@@ -1,0 +1,95 @@
+"""Image augmentation for NCHW batches.
+
+The CIFAR training recipes behind the paper's ResNets use random crops
+(shift with zero padding) and horizontal flips.  These numpy
+implementations operate on whole batches, are deterministic under a
+Generator, and compose through :class:`AugmentPipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "random_horizontal_flip",
+    "random_shift",
+    "gaussian_noise",
+    "AugmentPipeline",
+]
+
+
+def random_horizontal_flip(
+    batch: np.ndarray, rng: np.random.Generator, prob: float = 0.5
+) -> np.ndarray:
+    """Flip each image left-right with probability ``prob``."""
+    if batch.ndim != 4:
+        raise ValueError(f"expected NCHW batch, got shape {batch.shape}")
+    if not 0.0 <= prob <= 1.0:
+        raise ValueError(f"prob must be in [0, 1], got {prob}")
+    out = batch.copy()
+    flip = rng.random(len(batch)) < prob
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def random_shift(
+    batch: np.ndarray, rng: np.random.Generator, max_shift: int = 1
+) -> np.ndarray:
+    """Shift each image by up to ``max_shift`` pixels (zero padding).
+
+    Equivalent to the classic pad-then-random-crop CIFAR augmentation.
+    """
+    if batch.ndim != 4:
+        raise ValueError(f"expected NCHW batch, got shape {batch.shape}")
+    if max_shift < 0:
+        raise ValueError("max_shift must be >= 0")
+    if max_shift == 0:
+        return batch.copy()
+    n, c, h, w = batch.shape
+    padded = np.pad(
+        batch, [(0, 0), (0, 0), (max_shift, max_shift), (max_shift, max_shift)]
+    )
+    out = np.empty_like(batch)
+    offsets = rng.integers(0, 2 * max_shift + 1, size=(n, 2))
+    for i, (dy, dx) in enumerate(offsets):
+        out[i] = padded[i, :, dy : dy + h, dx : dx + w]
+    return out
+
+
+def gaussian_noise(
+    batch: np.ndarray, rng: np.random.Generator, std: float = 0.05
+) -> np.ndarray:
+    """Add zero-mean Gaussian pixel noise."""
+    if std < 0:
+        raise ValueError("std must be >= 0")
+    if std == 0:
+        return batch.copy()
+    return batch + rng.normal(0.0, std, size=batch.shape)
+
+
+class AugmentPipeline:
+    """Compose augmentations; apply to each minibatch before training.
+
+    Example::
+
+        pipeline = AugmentPipeline([
+            lambda b, rng: random_shift(b, rng, max_shift=1),
+            random_horizontal_flip,
+        ], seed=0)
+        x_aug = pipeline(x_batch)
+    """
+
+    def __init__(
+        self,
+        transforms: Sequence[Callable[[np.ndarray, np.random.Generator], np.ndarray]],
+        seed: int = 0,
+    ) -> None:
+        self.transforms: List = list(transforms)
+        self.rng = np.random.default_rng(seed)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch, self.rng)
+        return batch

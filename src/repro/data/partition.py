@@ -1,0 +1,199 @@
+"""Client data partitioners: IID, Dirichlet(α), and the shards method.
+
+These reproduce the two non-IID constructions in the paper's evaluation:
+
+- *Dirichlet distribution method* (Hsu et al., 2019): per-client class
+  proportions drawn from Dir(α); smaller α ⇒ more skew.
+- *Shards method* (as in FedAvg/FedProx): the pool is sorted by label, cut
+  into fixed-size shards, and each client receives shards drawn from ``k``
+  classes; smaller ``k`` ⇒ more skew.
+
+All partitioners return a list of index arrays into the given dataset, are
+deterministic under a seed, and guarantee every client receives at least one
+sample.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .datasets import Dataset
+
+__all__ = [
+    "partition_iid",
+    "partition_dirichlet",
+    "partition_shards",
+    "partition_by_classes",
+    "split_local_train_test",
+    "partition_summary",
+]
+
+IndexList = List[np.ndarray]
+
+
+def _validate(dataset: Dataset, num_clients: int) -> None:
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if len(dataset) < num_clients:
+        raise ValueError(
+            f"cannot split {len(dataset)} samples across {num_clients} clients"
+        )
+
+
+def _ensure_nonempty(parts: IndexList, rng: np.random.Generator) -> IndexList:
+    """Move samples from the largest parts into any empty ones."""
+    for i, part in enumerate(parts):
+        while len(parts[i]) == 0:
+            donor = int(np.argmax([len(p) for p in parts]))
+            if len(parts[donor]) <= 1:
+                raise RuntimeError("not enough samples to give every client one")
+            take = rng.integers(0, len(parts[donor]))
+            parts[i] = np.append(parts[i], parts[donor][take]).astype(np.int64)
+            parts[donor] = np.delete(parts[donor], take)
+    return parts
+
+
+def partition_iid(dataset: Dataset, num_clients: int, seed: int = 0) -> IndexList:
+    """Shuffle and split the dataset into equal IID chunks."""
+    _validate(dataset, num_clients)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    return [chunk.astype(np.int64) for chunk in np.array_split(order, num_clients)]
+
+
+def partition_dirichlet(
+    dataset: Dataset,
+    num_clients: int,
+    alpha: float,
+    seed: int = 0,
+) -> IndexList:
+    """Label-skewed split with per-class Dirichlet(α) client proportions."""
+    _validate(dataset, num_clients)
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    rng = np.random.default_rng(seed)
+    parts: IndexList = [np.empty(0, dtype=np.int64) for _ in range(num_clients)]
+    for cls in range(dataset.num_classes):
+        cls_idx = np.flatnonzero(dataset.y == cls)
+        if len(cls_idx) == 0:
+            continue
+        rng.shuffle(cls_idx)
+        proportions = rng.dirichlet(np.full(num_clients, alpha))
+        cuts = (np.cumsum(proportions)[:-1] * len(cls_idx)).astype(int)
+        for client, chunk in enumerate(np.split(cls_idx, cuts)):
+            parts[client] = np.concatenate([parts[client], chunk])
+    for part in parts:
+        rng.shuffle(part)
+    return _ensure_nonempty(parts, rng)
+
+
+def partition_shards(
+    dataset: Dataset,
+    num_clients: int,
+    classes_per_client: int,
+    shard_size: int = 20,
+    shards_per_client: Optional[int] = None,
+    seed: int = 0,
+) -> IndexList:
+    """The paper's shards method.
+
+    The pool is cut into label-sorted shards of ``shard_size``; each client
+    draws shards only from ``classes_per_client`` (the paper's ``k``)
+    randomly chosen classes.  ``shards_per_client`` defaults to an equal
+    share of all shards.
+    """
+    _validate(dataset, num_clients)
+    if not 1 <= classes_per_client <= dataset.num_classes:
+        raise ValueError(
+            f"classes_per_client must be in [1, {dataset.num_classes}], "
+            f"got {classes_per_client}"
+        )
+    rng = np.random.default_rng(seed)
+
+    # Build shards per class.
+    shards_by_class: List[List[np.ndarray]] = []
+    for cls in range(dataset.num_classes):
+        cls_idx = np.flatnonzero(dataset.y == cls)
+        rng.shuffle(cls_idx)
+        shards = [
+            cls_idx[i : i + shard_size] for i in range(0, len(cls_idx), shard_size)
+        ]
+        shards_by_class.append(shards)
+
+    total_shards = sum(len(s) for s in shards_by_class)
+    if shards_per_client is None:
+        shards_per_client = max(1, total_shards // num_clients)
+
+    parts: IndexList = []
+    for _ in range(num_clients):
+        chosen_classes = rng.choice(
+            dataset.num_classes, size=classes_per_client, replace=False
+        )
+        collected: List[np.ndarray] = []
+        # Round-robin over the chosen classes until we have enough shards;
+        # skip classes whose shards ran out (can happen for small pools).
+        guard = 0
+        while len(collected) < shards_per_client and guard < 10 * shards_per_client:
+            guard += 1
+            cls = int(rng.choice(chosen_classes))
+            if shards_by_class[cls]:
+                collected.append(shards_by_class[cls].pop())
+            elif all(not shards_by_class[c] for c in chosen_classes):
+                break
+        if collected:
+            part = np.concatenate(collected).astype(np.int64)
+        else:
+            part = np.empty(0, dtype=np.int64)
+        rng.shuffle(part)
+        parts.append(part)
+    return _ensure_nonempty(parts, rng)
+
+
+def partition_by_classes(
+    dataset: Dataset, class_groups: Sequence[Sequence[int]], seed: int = 0
+) -> IndexList:
+    """Assign each client exactly the samples of its class group.
+
+    Used by the Fig. 2 motivation experiment (client 1 gets classes 0–4,
+    client 2 gets classes 5–9).
+    """
+    rng = np.random.default_rng(seed)
+    parts: IndexList = []
+    for group in class_groups:
+        mask = np.isin(dataset.y, np.asarray(group))
+        idx = np.flatnonzero(mask)
+        rng.shuffle(idx)
+        parts.append(idx.astype(np.int64))
+    return parts
+
+
+def split_local_train_test(
+    indices: np.ndarray, test_fraction: float = 0.2, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split one client's indices into local train/test with the same skew.
+
+    The paper's ``C_acc`` metric evaluates each client on a local test set
+    distributed like its training data; this carve-out provides it.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    indices = np.asarray(indices, dtype=np.int64)
+    order = rng.permutation(len(indices))
+    n_test = max(1, int(round(len(indices) * test_fraction)))
+    n_test = min(n_test, len(indices) - 1) if len(indices) > 1 else 0
+    test_idx = indices[order[:n_test]]
+    train_idx = indices[order[n_test:]]
+    return train_idx, test_idx
+
+
+def partition_summary(dataset: Dataset, parts: IndexList) -> np.ndarray:
+    """Return a ``(num_clients, num_classes)`` label-count matrix."""
+    summary = np.zeros((len(parts), dataset.num_classes), dtype=np.int64)
+    for client, idx in enumerate(parts):
+        summary[client] = np.bincount(
+            dataset.y[idx], minlength=dataset.num_classes
+        )
+    return summary

@@ -1,0 +1,55 @@
+"""Experiment runners regenerating every figure and table of the paper.
+
+Each module exposes ``run(scale=..., seed=...) -> dict`` returning raw
+numbers and ``main()`` printing a formatted table.  The ``benchmarks/``
+tree wraps these with pytest-benchmark; the per-experiment index lives in
+DESIGN.md.
+"""
+
+from . import (
+    fig1_motivation,
+    fig2_logit_quality,
+    fig3_comm_vs_publicsize,
+    fig5_homogeneous,
+    fig6_curves,
+    fig7_heterogeneous,
+    fig8_ablation,
+    fig9_theta,
+    fig10_delta,
+    table1_comm,
+)
+from .harness import (
+    PARTITIONS,
+    SCALES,
+    ExperimentSetting,
+    ScaleConfig,
+    compare_algorithms,
+    federation_for,
+    format_table,
+    make_bundle,
+    model_roles,
+    run_algorithm,
+)
+
+__all__ = [
+    "ExperimentSetting",
+    "ScaleConfig",
+    "SCALES",
+    "PARTITIONS",
+    "make_bundle",
+    "model_roles",
+    "federation_for",
+    "run_algorithm",
+    "compare_algorithms",
+    "format_table",
+    "fig1_motivation",
+    "fig2_logit_quality",
+    "fig3_comm_vs_publicsize",
+    "fig5_homogeneous",
+    "fig6_curves",
+    "fig7_heterogeneous",
+    "fig8_ablation",
+    "fig9_theta",
+    "fig10_delta",
+    "table1_comm",
+]

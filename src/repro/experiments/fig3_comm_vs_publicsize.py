@@ -1,0 +1,88 @@
+"""Fig. 3 — communication overhead and accuracy vs public-dataset size.
+
+For the KD-based method, the per-round per-client uplink is one logit
+vector per public sample, so communication grows linearly with the public
+set, eventually crossing the cost of sending model updates instead; but a
+bigger public set also raises server accuracy.  The claims to reproduce:
+
+1. per-client logit traffic is proportional to public-set size;
+2. past some size it exceeds the model-update payload;
+3. server accuracy increases with public-set size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+import numpy as np
+
+from ..nn.models import build_model
+from ..nn.serialize import WIRE_DTYPE
+from .harness import ExperimentSetting, format_table, model_roles, run_algorithm
+
+__all__ = ["run", "main", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = (100, 200, 400, 800)
+
+
+def run(
+    scale: str = "tiny",
+    seed: int = 0,
+    public_sizes=DEFAULT_SIZES,
+    rounds: int = None,
+) -> Dict:
+    """Sweep the public-set size with the naive KD method.
+
+    Returns per size: final server accuracy, per-client uplink MB per round,
+    plus the model-update payload (MB) for comparison.
+    """
+    base = ExperimentSetting(dataset="cifar10", partition="dir0.3", scale=scale, seed=seed)
+    sc = base.scale_config()
+    roles = model_roles(sc.model_family, heterogeneous=False)
+    model = build_model(roles["client_models"], 10, (3, 8, 8), rng=seed)
+    model_update_mb = model.num_parameters() * WIRE_DTYPE().itemsize / (1024.0**2)
+
+    sizes_out: List[Dict] = []
+    for n_public in public_sizes:
+        setting = replace(base, scale_overrides={"n_public": int(n_public)})
+        history = run_algorithm(setting, "naive_kd", rounds=rounds)
+        total_rounds = len(history)
+        last = history.records[-1]
+        uplink_mb = last.comm_uplink_bytes / (1024.0**2)
+        per_client_per_round = uplink_mb / (sc.num_clients * total_rounds)
+        sizes_out.append(
+            {
+                "n_public": int(n_public),
+                "server_acc": history.best_server_acc,
+                "uplink_mb_per_client_round": per_client_per_round,
+            }
+        )
+    return {"sweep": sizes_out, "model_update_mb": model_update_mb}
+
+
+def as_table(results: Dict) -> str:
+    rows = [
+        [
+            point["n_public"],
+            point["server_acc"],
+            point["uplink_mb_per_client_round"],
+            results["model_update_mb"],
+        ]
+        for point in results["sweep"]
+    ]
+    return format_table(
+        ["public size", "S_acc", "logit MB/client/round", "model-update MB"],
+        rows,
+        title="Fig. 3 — accuracy & per-client communication vs public-set size",
+    )
+
+
+def main(scale: str = "small", seed: int = 0) -> Dict:
+    results = run(scale=scale, seed=seed)
+    print(as_table(results))
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,258 @@
+"""Shared experiment harness: scales, settings, runners, and formatting.
+
+Every figure/table module builds on this.  The paper's experiments are GPU-
+scale; the harness exposes three scale presets so the same code runs as a
+seconds-long benchmark (``tiny``), a minutes-long trend check (``small``),
+or the full paper configuration (``paper``) given enough compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms import algorithm_supports, build_algorithm
+from ..data.datasets import FederatedDataBundle, make_task
+from ..fl.config import FederationConfig
+from ..fl.metrics import RunHistory
+from ..fl.simulation import build_federation
+
+__all__ = [
+    "ScaleConfig",
+    "SCALES",
+    "ExperimentSetting",
+    "make_bundle",
+    "model_roles",
+    "federation_for",
+    "run_algorithm",
+    "compare_algorithms",
+    "format_table",
+    "PARTITIONS",
+]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs that trade fidelity for runtime."""
+
+    n_train: int
+    n_test: int
+    n_public: int
+    num_clients: int
+    rounds: int
+    epoch_scale: float
+    model_family: str  # "mlp" (fast) or "resnet" (faithful to the paper)
+    cifar100_data_factor: float = 2.5  # 100-class runs need more samples
+
+    def sized_for(self, dataset: str) -> "ScaleConfig":
+        if dataset != "cifar100":
+            return self
+        f = self.cifar100_data_factor
+        return replace(
+            self,
+            n_train=int(self.n_train * f),
+            n_test=int(self.n_test * f),
+            n_public=int(self.n_public * f),
+        )
+
+
+SCALES: Dict[str, ScaleConfig] = {
+    # seconds per run — used by the pytest benchmarks and tests
+    "tiny": ScaleConfig(800, 300, 200, 4, 3, 0.2, "mlp"),
+    # a minute or two per run — shows the paper's trends clearly
+    "small": ScaleConfig(2000, 600, 500, 6, 6, 0.3, "mlp"),
+    # the paper's configuration (CIFAR-scale, ResNets, 70 rounds)
+    "paper": ScaleConfig(20000, 4000, 5000, 10, 70, 1.0, "resnet"),
+}
+
+# Partition shorthand used across the figure modules: name -> (kind, kwargs)
+PARTITIONS: Dict[str, Tuple[str, dict]] = {
+    "iid": ("iid", {}),
+    "dir0.1": ("dirichlet", {"alpha": 0.1}),
+    "dir0.3": ("dirichlet", {"alpha": 0.3}),
+    "dir0.5": ("dirichlet", {"alpha": 0.5}),
+    # paper: CIFAR-10 shards with k in {3, 5}; CIFAR-100 with k in {30, 50}
+    "shards3": ("shards", {"classes_per_client": 3}),
+    "shards5": ("shards", {"classes_per_client": 5}),
+    "shards30": ("shards", {"classes_per_client": 30}),
+    "shards50": ("shards", {"classes_per_client": 50}),
+}
+
+
+@dataclass
+class ExperimentSetting:
+    """One experimental cell: dataset × partition × model setting × scale."""
+
+    dataset: str = "cifar10"
+    partition: str = "dir0.5"
+    heterogeneous: bool = False
+    scale: str = "tiny"
+    seed: int = 0
+    scale_overrides: dict = field(default_factory=dict)
+
+    def scale_config(self) -> ScaleConfig:
+        base = SCALES[self.scale].sized_for(self.dataset)
+        if self.scale_overrides:
+            base = replace(base, **self.scale_overrides)
+        return base
+
+
+def make_bundle(setting: ExperimentSetting) -> FederatedDataBundle:
+    """Generate the data bundle for a setting (deterministic in the seed)."""
+    sc = setting.scale_config()
+    task = make_task(setting.dataset, seed=setting.seed)
+    return task.make_bundle(sc.n_train, sc.n_test, sc.n_public, seed=setting.seed + 1)
+
+
+def model_roles(family: str, heterogeneous: bool) -> Dict[str, object]:
+    """Map the paper's model roles onto a family.
+
+    Returns ``client_models`` (str or list), ``big_server`` (for KD-based
+    algorithms) and ``peer_server`` (for weight-averaging algorithms whose
+    server must match the clients).
+    """
+    if family == "resnet":
+        if heterogeneous:
+            return {
+                "client_models": ["resnet11", "resnet20", "resnet29"],
+                "big_server": "resnet56",
+                "peer_server": None,  # weight averaging impossible
+            }
+        return {
+            "client_models": "resnet20",
+            "big_server": "resnet56",
+            "peer_server": "resnet20",
+        }
+    if family == "mlp":
+        if heterogeneous:
+            return {
+                "client_models": ["mlp_small", "mlp_medium", "mlp_large"],
+                "big_server": "mlp_xlarge",
+                "peer_server": None,
+            }
+        return {
+            "client_models": "mlp_medium",
+            "big_server": "mlp_large",
+            "peer_server": "mlp_medium",
+        }
+    raise ValueError(f"unknown model family '{family}'")
+
+
+def federation_for(
+    setting: ExperimentSetting,
+    algorithm: str,
+    bundle: Optional[FederatedDataBundle] = None,
+):
+    """Build the federation an algorithm needs under a setting.
+
+    Weight-averaging algorithms (FedAvg/FedProx/FedDF) get a server matching
+    the client architecture; KD-based ones get the big server; FedMD/DS-FL
+    get none.
+    """
+    if bundle is None:
+        bundle = make_bundle(setting)
+    sc = setting.scale_config()
+    roles = model_roles(sc.model_family, setting.heterogeneous)
+
+    if not algorithm_supports(algorithm, "heterogeneous") and setting.heterogeneous:
+        raise ValueError(
+            f"{algorithm} does not support heterogeneous client models"
+        )
+
+    if not algorithm_supports(algorithm, "server_model"):
+        server_model = None
+    elif algorithm in ("fedavg", "fedprox", "feddf"):
+        server_model = roles["peer_server"]
+    else:
+        server_model = roles["big_server"]
+
+    config = FederationConfig(
+        num_clients=sc.num_clients,
+        partition=PARTITIONS[setting.partition],
+        client_models=roles["client_models"],
+        server_model=server_model,
+        seed=setting.seed,
+    )
+    return build_federation(bundle, config)
+
+
+def run_algorithm(
+    setting: ExperimentSetting,
+    algorithm: str,
+    bundle: Optional[FederatedDataBundle] = None,
+    rounds: Optional[int] = None,
+    eval_every: int = 1,
+    **config_overrides,
+) -> RunHistory:
+    """Run one algorithm under a setting and return its history."""
+    sc = setting.scale_config()
+    federation = federation_for(setting, algorithm, bundle)
+    algo = build_algorithm(
+        algorithm,
+        federation,
+        seed=setting.seed,
+        epoch_scale=sc.epoch_scale,
+        **config_overrides,
+    )
+    history = algo.run(rounds or sc.rounds, eval_every=eval_every)
+    history.dataset = setting.dataset
+    history.config.update(
+        {
+            "partition": setting.partition,
+            "heterogeneous": setting.heterogeneous,
+            "scale": setting.scale,
+            "seed": setting.seed,
+        }
+    )
+    return history
+
+
+def compare_algorithms(
+    setting: ExperimentSetting,
+    algorithms: Sequence[str],
+    rounds: Optional[int] = None,
+    eval_every: int = 1,
+    per_algorithm_overrides: Optional[Dict[str, dict]] = None,
+) -> Dict[str, RunHistory]:
+    """Run several algorithms on the *same* data bundle for fair comparison."""
+    bundle = make_bundle(setting)
+    per_algorithm_overrides = per_algorithm_overrides or {}
+    results: Dict[str, RunHistory] = {}
+    for name in algorithms:
+        overrides = per_algorithm_overrides.get(name, {})
+        results[name] = run_algorithm(
+            setting, name, bundle=bundle, rounds=rounds, eval_every=eval_every,
+            **overrides,
+        )
+    return results
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table (the harness's human-readable output)."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "N/A"
+        return f"{value:.3f}"
+    return str(value)

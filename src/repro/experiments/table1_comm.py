@@ -1,0 +1,117 @@
+"""Table I — communication overhead to reach a target accuracy.
+
+Under weakly non-IID settings the paper measures the cumulative MB each
+method needs before its client/server accuracy first reaches a target
+(60% on CIFAR-10, 25% on CIFAR-100), reporting N/A for metrics a method
+does not support or never reaches.  The claim to reproduce: FedPKD reaches
+the targets with substantially less traffic than every benchmark, because
+it ships logits (not weights) and filtering shrinks the downlink.
+
+Absolute targets depend on the data substrate, so at reduced scales the
+targets are set relative to FedPKD's achieved accuracy (``target_fraction``
+of its best) — preserving the comparison's meaning: "traffic until a fixed,
+commonly reachable accuracy level".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..algorithms import algorithm_supports
+from .harness import ExperimentSetting, compare_algorithms, format_table
+
+__all__ = ["run", "main", "TABLE_ALGORITHMS"]
+
+TABLE_ALGORITHMS = ("fedavg", "fedprox", "feddf", "fedmd", "dsfl", "fedpkd")
+
+
+def run(
+    scale: str = "tiny",
+    seed: int = 0,
+    datasets: Sequence[str] = ("cifar10",),
+    partitions: Sequence[str] = ("dir0.5",),
+    algorithms: Sequence[str] = TABLE_ALGORITHMS,
+    target_fraction: float = 0.8,
+    explicit_targets: Optional[Dict[str, float]] = None,
+) -> Dict:
+    """Return comm-to-target for each cell.
+
+    ``{dataset: {partition: {"targets": (client, server),
+    "mb": {algorithm: {"client": mb|None, "server": mb|None}}}}}``
+    """
+    results: Dict = {}
+    for dataset in datasets:
+        results[dataset] = {}
+        for partition in partitions:
+            setting = ExperimentSetting(
+                dataset=dataset, partition=partition, scale=scale, seed=seed
+            )
+            histories = compare_algorithms(setting, algorithms)
+            if explicit_targets and dataset in explicit_targets:
+                client_target = server_target = explicit_targets[dataset]
+            else:
+                anchor = histories["fedpkd"]
+                server_target = target_fraction * anchor.best_server_acc
+                client_target = target_fraction * anchor.best_client_acc
+            cell_mb: Dict[str, Dict[str, Optional[float]]] = {}
+            for name, hist in histories.items():
+                client_mb = (
+                    hist.comm_to_reach(client_target, metric="client")
+                    if algorithm_supports(name, "client_metric")
+                    else None
+                )
+                server_mb = (
+                    hist.comm_to_reach(server_target, metric="server")
+                    if algorithm_supports(name, "server_model")
+                    else None
+                )
+                cell_mb[name] = {"client": client_mb, "server": server_mb}
+            results[dataset][partition] = {
+                "targets": (client_target, server_target),
+                "mb": cell_mb,
+            }
+    return results
+
+
+def as_table(results: Dict) -> str:
+    rows = []
+    for dataset, by_partition in results.items():
+        for partition, cell in by_partition.items():
+            c_target, s_target = cell["targets"]
+            for name, mbs in cell["mb"].items():
+                rows.append(
+                    [
+                        dataset,
+                        partition,
+                        name,
+                        f"{c_target:.3f}",
+                        mbs["client"],
+                        f"{s_target:.3f}",
+                        mbs["server"],
+                    ]
+                )
+    return format_table(
+        [
+            "dataset",
+            "partition",
+            "algorithm",
+            "C target",
+            "C_acc MB",
+            "S target",
+            "S_acc MB",
+        ],
+        rows,
+        title="Table I — communication (MB) to reach target accuracy",
+    )
+
+
+def main(scale: str = "small", seed: int = 0) -> Dict:
+    results = run(
+        scale=scale, seed=seed, datasets=("cifar10", "cifar100")
+    )
+    print(as_table(results))
+    return results
+
+
+if __name__ == "__main__":
+    main()

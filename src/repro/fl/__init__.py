@@ -1,0 +1,36 @@
+"""Federated-learning simulation framework: clients, server, channel, engine."""
+
+from .channel import ChannelSnapshot, CommChannel
+from .client import FLClient
+from .config import FederationConfig, TrainingConfig
+from .failures import ParticipationSampler
+from .metrics import RoundRecord, RunHistory
+from .server import FLServer
+from .simulation import Federation, FederatedAlgorithm, build_federation
+from .training import (
+    evaluate_accuracy,
+    make_optimizer,
+    train_distill,
+    train_supervised,
+    train_with_loss,
+)
+
+__all__ = [
+    "CommChannel",
+    "ChannelSnapshot",
+    "FLClient",
+    "FLServer",
+    "FederationConfig",
+    "TrainingConfig",
+    "ParticipationSampler",
+    "RoundRecord",
+    "RunHistory",
+    "Federation",
+    "FederatedAlgorithm",
+    "build_federation",
+    "train_with_loss",
+    "train_supervised",
+    "train_distill",
+    "evaluate_accuracy",
+    "make_optimizer",
+]

@@ -1,0 +1,106 @@
+"""Simulated client↔server communication channel with byte accounting.
+
+The paper's communication-efficiency results (Fig. 3, Table I) measure the
+MB transferred until a target accuracy is reached.  Every payload an
+algorithm sends must go through :class:`CommChannel`, which sizes it via
+:func:`repro.nn.serialize.payload_num_bytes` and keeps per-client,
+per-direction, and per-round ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..nn.serialize import Payload, payload_num_bytes
+
+__all__ = ["CommChannel", "ChannelSnapshot"]
+
+_MB = 1024.0 * 1024.0
+
+
+@dataclass
+class ChannelSnapshot:
+    """Cumulative traffic totals at one point in time (bytes)."""
+
+    uplink: int
+    downlink: int
+
+    @property
+    def total(self) -> int:
+        return self.uplink + self.downlink
+
+    @property
+    def total_mb(self) -> float:
+        return self.total / _MB
+
+
+class CommChannel:
+    """Byte-accounting ledger for a simulated FL deployment."""
+
+    def __init__(self) -> None:
+        self._uplink: Dict[int, int] = {}
+        self._downlink: Dict[int, int] = {}
+        self._round_marks: List[ChannelSnapshot] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def upload(self, client_id: int, payload: Payload) -> int:
+        """Record a client→server transfer; returns its size in bytes."""
+        size = payload_num_bytes(payload)
+        self._uplink[client_id] = self._uplink.get(client_id, 0) + size
+        return size
+
+    def download(self, client_id: int, payload: Payload) -> int:
+        """Record a server→client transfer; returns its size in bytes."""
+        size = payload_num_bytes(payload)
+        self._downlink[client_id] = self._downlink.get(client_id, 0) + size
+        return size
+
+    def broadcast(self, client_ids, payload: Payload) -> int:
+        """Record the same server→client payload to many clients."""
+        return sum(self.download(cid, payload) for cid in client_ids)
+
+    def mark_round(self) -> ChannelSnapshot:
+        """Snapshot cumulative totals at a round boundary."""
+        snap = self.snapshot()
+        self._round_marks.append(snap)
+        return snap
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ChannelSnapshot:
+        return ChannelSnapshot(
+            uplink=sum(self._uplink.values()),
+            downlink=sum(self._downlink.values()),
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.snapshot().total
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / _MB
+
+    def client_bytes(self, client_id: int) -> int:
+        """Total bytes this client sent plus received."""
+        return self._uplink.get(client_id, 0) + self._downlink.get(client_id, 0)
+
+    def client_mb(self, client_id: int) -> float:
+        return self.client_bytes(client_id) / _MB
+
+    def per_client_mb(self) -> Dict[int, float]:
+        ids = set(self._uplink) | set(self._downlink)
+        return {cid: self.client_mb(cid) for cid in sorted(ids)}
+
+    @property
+    def round_marks(self) -> List[ChannelSnapshot]:
+        return list(self._round_marks)
+
+    def reset(self) -> None:
+        self._uplink.clear()
+        self._downlink.clear()
+        self._round_marks.clear()

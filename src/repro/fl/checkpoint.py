@@ -1,0 +1,118 @@
+"""Checkpointing: persist and resume a federated training run.
+
+Long FL runs (the paper's 70 rounds) need restartability.  A checkpoint
+captures every client model, the server model, the round counter, and any
+algorithm-specific state (e.g. FedPKD's global prototypes) in a single
+``.npz`` file.
+
+Usage::
+
+    save_checkpoint(algo, "run.npz")
+    ...
+    algo2 = build_algorithm("fedpkd", fresh_federation)
+    load_checkpoint(algo2, "run.npz")   # weights + round + prototypes restored
+    algo2.run(rounds=remaining)
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from .simulation import FederatedAlgorithm
+
+__all__ = ["save_checkpoint", "load_checkpoint", "algorithm_state", "load_algorithm_state"]
+
+_META_PREFIX = "__meta__"
+_CLIENT_PREFIX = "client{cid}::"
+_SERVER_PREFIX = "server::"
+_ALGO_PREFIX = "algo::"
+
+
+def algorithm_state(algo: FederatedAlgorithm) -> Dict[str, np.ndarray]:
+    """Extract algorithm-specific arrays worth persisting.
+
+    Currently understands FedPKD-style ``global_prototypes``; other
+    algorithms contribute nothing (their state is entirely in the models).
+    """
+    state: Dict[str, np.ndarray] = {}
+    protos = getattr(algo, "global_prototypes", None)
+    if protos is not None:
+        state["global_prototypes"] = np.asarray(protos)
+    return state
+
+
+def load_algorithm_state(algo: FederatedAlgorithm, state: Dict[str, np.ndarray]) -> None:
+    """Inverse of :func:`algorithm_state`."""
+    if "global_prototypes" in state and hasattr(algo, "global_prototypes"):
+        algo.global_prototypes = state["global_prototypes"].copy()
+
+
+def save_checkpoint(algo: FederatedAlgorithm, path: str) -> None:
+    """Write the algorithm's full training state to ``path`` (npz)."""
+    arrays: Dict[str, np.ndarray] = {
+        f"{_META_PREFIX}round_index": np.array(algo.round_index, dtype=np.int64),
+        f"{_META_PREFIX}num_clients": np.array(len(algo.clients), dtype=np.int64),
+    }
+    for client in algo.clients:
+        prefix = _CLIENT_PREFIX.format(cid=client.client_id)
+        for key, value in client.model.state_dict().items():
+            arrays[prefix + key] = value
+    if algo.server.has_model:
+        for key, value in algo.server.model.state_dict().items():
+            arrays[_SERVER_PREFIX + key] = value
+    for key, value in algorithm_state(algo).items():
+        arrays[_ALGO_PREFIX + key] = value
+    with open(path, "wb") as f:
+        np.savez(f, **arrays)
+
+
+def load_checkpoint(algo: FederatedAlgorithm, path: str) -> int:
+    """Restore training state saved by :func:`save_checkpoint`.
+
+    The federation must be structurally identical (same client count and
+    model architectures).  Returns the restored round index.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        arrays = {k: archive[k] for k in archive.files}
+
+    saved_clients = int(arrays[f"{_META_PREFIX}num_clients"])
+    if saved_clients != len(algo.clients):
+        raise ValueError(
+            f"checkpoint has {saved_clients} clients, federation has "
+            f"{len(algo.clients)}"
+        )
+
+    for client in algo.clients:
+        prefix = _CLIENT_PREFIX.format(cid=client.client_id)
+        state = {
+            key[len(prefix):]: value
+            for key, value in arrays.items()
+            if key.startswith(prefix)
+        }
+        client.model.load_state_dict(state)
+
+    server_state = {
+        key[len(_SERVER_PREFIX):]: value
+        for key, value in arrays.items()
+        if key.startswith(_SERVER_PREFIX)
+    }
+    if server_state:
+        if not algo.server.has_model:
+            raise ValueError("checkpoint contains a server model; federation has none")
+        algo.server.model.load_state_dict(server_state)
+
+    algo_state = {
+        key[len(_ALGO_PREFIX):]: value
+        for key, value in arrays.items()
+        if key.startswith(_ALGO_PREFIX)
+    }
+    load_algorithm_state(algo, algo_state)
+
+    algo.round_index = int(arrays[f"{_META_PREFIX}round_index"])
+    return algo.round_index

@@ -1,0 +1,131 @@
+"""Client-side state and behaviour common to all algorithms."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn.models import ClassifierModel
+from .config import TrainingConfig
+from .training import evaluate_accuracy, train_distill, train_supervised
+
+__all__ = ["FLClient"]
+
+
+class FLClient:
+    """One federated client: a model, private data, and a personal test set.
+
+    The class is algorithm-agnostic; algorithms call its training helpers
+    with the loss ingredients they need (proximal anchors, prototypes,
+    teacher logits, ...).
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        model: ClassifierModel,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        num_classes: int,
+        seed: int = 0,
+    ) -> None:
+        self.client_id = client_id
+        self.model = model
+        self.x_train = x_train
+        self.y_train = np.asarray(y_train, dtype=np.int64)
+        self.x_test = x_test
+        self.y_test = np.asarray(y_test, dtype=np.int64)
+        self.num_classes = num_classes
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # data facts
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        return len(self.x_train)
+
+    def class_counts(self) -> np.ndarray:
+        """Per-class sample counts of the local training set."""
+        return np.bincount(self.y_train, minlength=self.num_classes)
+
+    def present_classes(self) -> np.ndarray:
+        """Classes this client has at least one training sample of."""
+        return np.flatnonzero(self.class_counts() > 0)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train_local(
+        self,
+        config: TrainingConfig,
+        prox_mu: float = 0.0,
+        prox_reference: Optional[Dict[str, np.ndarray]] = None,
+        prototypes: Optional[np.ndarray] = None,
+        prototype_weight: float = 0.0,
+    ) -> float:
+        """Supervised training on private data (Eq. 4 / Eq. 16 / FedProx)."""
+        return train_supervised(
+            self.model,
+            self.x_train,
+            self.y_train,
+            config,
+            self.rng,
+            prox_mu=prox_mu,
+            prox_reference=prox_reference,
+            prototypes=prototypes,
+            prototype_weight=prototype_weight,
+        )
+
+    def train_public_distill(
+        self,
+        x_public: np.ndarray,
+        teacher_logits: np.ndarray,
+        config: TrainingConfig,
+        kd_weight: float = 0.5,
+        pseudo_labels: Optional[np.ndarray] = None,
+        temperature: float = 1.0,
+    ) -> float:
+        """Distillation from server/consensus logits on public data (Eq. 15)."""
+        return train_distill(
+            self.model,
+            x_public,
+            teacher_logits,
+            config,
+            self.rng,
+            kd_weight=kd_weight,
+            pseudo_labels=pseudo_labels,
+            temperature=temperature,
+        )
+
+    # ------------------------------------------------------------------
+    # knowledge extraction
+    # ------------------------------------------------------------------
+    def logits_on(self, x: np.ndarray) -> np.ndarray:
+        """Model output logits on arbitrary inputs (e.g. the public set)."""
+        return self.model.predict_logits(x)
+
+    def compute_prototypes(self) -> np.ndarray:
+        """Per-class mean feature vectors of the local training set (Eq. 5).
+
+        Returns a ``(num_classes, feature_dim)`` array with NaN rows for
+        classes absent from the local data.
+        """
+        feats = self.model.extract_features(self.x_train)
+        protos = np.full((self.num_classes, self.model.feature_dim), np.nan)
+        for cls in self.present_classes():
+            protos[cls] = feats[self.y_train == cls].mean(axis=0)
+        return protos
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self) -> float:
+        """Personalised accuracy on the local test set (paper ``C_acc``)."""
+        return evaluate_accuracy(self.model, self.x_test, self.y_test)
+
+    def evaluate_on(self, x: np.ndarray, y: np.ndarray) -> float:
+        return evaluate_accuracy(self.model, x, y)

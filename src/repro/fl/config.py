@@ -1,0 +1,87 @@
+"""Configuration dataclasses shared by all FL algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["TrainingConfig", "FederationConfig"]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of one training phase (paper Sec. V-A defaults).
+
+    ``optimizer`` is ``"adam"`` (the paper's choice) or ``"sgd"``.
+    """
+
+    epochs: int = 1
+    batch_size: int = 32
+    lr: float = 1e-3
+    optimizer: str = "adam"
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    max_grad_norm: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.epochs < 0:
+            raise ValueError(f"epochs must be >= 0, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError(f"unknown optimizer '{self.optimizer}'")
+
+
+@dataclass
+class FederationConfig:
+    """Describes how to build the federation for an experiment.
+
+    Attributes
+    ----------
+    num_clients:
+        Number of participating clients (the paper's :math:`C`).
+    partition:
+        ``("iid", {})``, ``("dirichlet", {"alpha": 0.5})`` or
+        ``("shards", {"classes_per_client": 3, "shard_size": 20})``.
+    client_models:
+        One registry name for homogeneous settings, or a list cycled across
+        clients for heterogeneous settings (paper: ResNet-11/20/29).
+    server_model:
+        Registry name for the server model, or ``None`` for algorithms
+        without one (FedMD, DS-FL).
+    feature_dim:
+        Shared prototype dimensionality.
+    local_test_fraction:
+        Fraction of each client's local data carved out as its personal
+        test set (drives the ``C_acc`` metric).
+    dropout_prob:
+        Per-round probability that a client is unavailable (failure
+        injection; 0 reproduces the paper's full-participation setting).
+    """
+
+    num_clients: int = 8
+    partition: Tuple[str, Dict] = ("dirichlet", {"alpha": 0.5})
+    client_models: Union[str, Sequence[str]] = "resnet20"
+    server_model: Optional[str] = "resnet56"
+    feature_dim: int = 32
+    local_test_fraction: float = 0.2
+    dropout_prob: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {self.num_clients}")
+        kind = self.partition[0]
+        if kind not in ("iid", "dirichlet", "shards", "by_classes"):
+            raise ValueError(f"unknown partition kind '{kind}'")
+        if not 0.0 <= self.dropout_prob < 1.0:
+            raise ValueError("dropout_prob must be in [0, 1)")
+
+    def client_model_names(self) -> List[str]:
+        """Resolve per-client model names (cycling a heterogeneous list)."""
+        if isinstance(self.client_models, str):
+            return [self.client_models] * self.num_clients
+        names = list(self.client_models)
+        if not names:
+            raise ValueError("client_models list is empty")
+        return [names[i % len(names)] for i in range(self.num_clients)]

@@ -1,0 +1,61 @@
+"""Failure injection for robustness experiments.
+
+Real deployments lose clients to crashes, churn, and stragglers.  The paper
+assumes full participation; these utilities let the test suite and the
+extension benchmarks check that every algorithm degrades gracefully when
+clients go missing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["ParticipationSampler"]
+
+
+class ParticipationSampler:
+    """Samples the set of available clients each round.
+
+    Parameters
+    ----------
+    num_clients:
+        Total federation size.
+    dropout_prob:
+        Independent per-round probability that each client is unavailable.
+    min_available:
+        At least this many clients always participate (a dropped round with
+        zero clients would deadlock synchronous FL).
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        dropout_prob: float = 0.0,
+        min_available: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= dropout_prob < 1.0:
+            raise ValueError("dropout_prob must be in [0, 1)")
+        if not 1 <= min_available <= num_clients:
+            raise ValueError("min_available must be in [1, num_clients]")
+        self.num_clients = num_clients
+        self.dropout_prob = dropout_prob
+        self.min_available = min_available
+        self.rng = np.random.default_rng(seed)
+
+    def sample(self) -> List[int]:
+        """Return the sorted ids of clients available this round."""
+        if self.dropout_prob == 0.0:
+            return list(range(self.num_clients))
+        available = [
+            cid
+            for cid in range(self.num_clients)
+            if self.rng.random() >= self.dropout_prob
+        ]
+        while len(available) < self.min_available:
+            extra = int(self.rng.integers(0, self.num_clients))
+            if extra not in available:
+                available.append(extra)
+        return sorted(available)

@@ -1,0 +1,133 @@
+"""Run history and the paper's evaluation metrics.
+
+Three metrics from Sec. V-A:
+
+- ``server_acc`` (``S_acc``): server model on the global test set;
+- ``client_acc`` (``C_acc``): mean of per-client accuracy on local test
+  sets distributed like each client's training data;
+- communication efficiency: cumulative MB until a target accuracy.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RoundRecord", "RunHistory"]
+
+
+@dataclass
+class RoundRecord:
+    """Metrics at the end of one communication round."""
+
+    round_index: int
+    server_acc: float
+    client_accs: List[float]
+    comm_uplink_bytes: int
+    comm_downlink_bytes: int
+    wall_time_s: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_client_acc(self) -> float:
+        if not self.client_accs:
+            return float("nan")
+        return sum(self.client_accs) / len(self.client_accs)
+
+    @property
+    def comm_total_mb(self) -> float:
+        return (self.comm_uplink_bytes + self.comm_downlink_bytes) / (1024.0 * 1024.0)
+
+
+class RunHistory:
+    """Ordered collection of :class:`RoundRecord` with summary queries."""
+
+    def __init__(self, algorithm: str, dataset: str = "", config: Optional[dict] = None) -> None:
+        self.algorithm = algorithm
+        self.dataset = dataset
+        self.config = config or {}
+        self.records: List[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # summary queries
+    # ------------------------------------------------------------------
+    @property
+    def final_server_acc(self) -> float:
+        return self.records[-1].server_acc if self.records else float("nan")
+
+    @property
+    def final_client_acc(self) -> float:
+        return self.records[-1].mean_client_acc if self.records else float("nan")
+
+    @property
+    def best_server_acc(self) -> float:
+        accs = [r.server_acc for r in self.records if not math.isnan(r.server_acc)]
+        return max(accs) if accs else float("nan")
+
+    @property
+    def best_client_acc(self) -> float:
+        accs = [r.mean_client_acc for r in self.records if not math.isnan(r.mean_client_acc)]
+        return max(accs) if accs else float("nan")
+
+    def server_acc_curve(self) -> List[float]:
+        return [r.server_acc for r in self.records]
+
+    def client_acc_curve(self) -> List[float]:
+        return [r.mean_client_acc for r in self.records]
+
+    def comm_curve_mb(self) -> List[float]:
+        return [r.comm_total_mb for r in self.records]
+
+    def comm_to_reach(self, target_acc: float, metric: str = "server") -> Optional[float]:
+        """Cumulative MB when ``metric`` accuracy first reaches ``target_acc``.
+
+        Returns ``None`` if the run never reaches the target (the paper's
+        ``N/A`` entries in Table I).
+        """
+        for record in self.records:
+            acc = record.server_acc if metric == "server" else record.mean_client_acc
+            if not math.isnan(acc) and acc >= target_acc:
+                return record.comm_total_mb
+        return None
+
+    def rounds_to_reach(self, target_acc: float, metric: str = "server") -> Optional[int]:
+        """First round index at which ``metric`` accuracy reaches the target."""
+        for record in self.records:
+            acc = record.server_acc if metric == "server" else record.mean_client_acc
+            if not math.isnan(acc) and acc >= target_acc:
+                return record.round_index
+        return None
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "config": self.config,
+            "records": [asdict(r) for r in self.records],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunHistory":
+        history = cls(
+            payload["algorithm"], payload.get("dataset", ""), payload.get("config")
+        )
+        for raw in payload.get("records", []):
+            history.append(RoundRecord(**raw))
+        return history

@@ -1,0 +1,59 @@
+"""Server-side state shared by the algorithms that train a server model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.models import ClassifierModel
+from .config import TrainingConfig
+from .training import evaluate_accuracy, train_distill
+
+__all__ = ["FLServer"]
+
+
+class FLServer:
+    """Holds the (optional) server model and its training utilities."""
+
+    def __init__(self, model: Optional[ClassifierModel], seed: int = 0) -> None:
+        self.model = model
+        self.rng = np.random.default_rng(seed)
+
+    @property
+    def has_model(self) -> bool:
+        return self.model is not None
+
+    def logits_on(self, x: np.ndarray) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("this server has no model")
+        return self.model.predict_logits(x)
+
+    def train_distill(
+        self,
+        x: np.ndarray,
+        teacher_logits: np.ndarray,
+        config: TrainingConfig,
+        kd_weight: float = 0.5,
+        pseudo_labels: Optional[np.ndarray] = None,
+        temperature: float = 1.0,
+    ) -> float:
+        """Plain ensemble distillation into the server model (Eq. 3 style)."""
+        if self.model is None:
+            raise RuntimeError("this server has no model")
+        return train_distill(
+            self.model,
+            x,
+            teacher_logits,
+            config,
+            self.rng,
+            kd_weight=kd_weight,
+            pseudo_labels=pseudo_labels,
+            temperature=temperature,
+        )
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Generalisation accuracy on the global test set (paper ``S_acc``)."""
+        if self.model is None:
+            return float("nan")
+        return evaluate_accuracy(self.model, x, y)

@@ -1,0 +1,225 @@
+"""Federation construction and the synchronous round engine.
+
+:func:`build_federation` turns a data bundle plus a
+:class:`~repro.fl.config.FederationConfig` into concrete clients and a
+server.  :class:`FederatedAlgorithm` is the base class every algorithm
+(FedPKD and the six baselines) derives from: subclasses implement
+``run_round`` and the engine handles evaluation, communication snapshots,
+failure injection, and history recording.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.datasets import FederatedDataBundle
+from ..data.partition import (
+    partition_by_classes,
+    partition_dirichlet,
+    partition_iid,
+    partition_shards,
+    split_local_train_test,
+)
+from ..nn.models import build_model
+from .channel import CommChannel
+from .client import FLClient
+from .config import FederationConfig, TrainingConfig
+from .failures import ParticipationSampler
+from .metrics import RoundRecord, RunHistory
+from .server import FLServer
+
+__all__ = ["build_federation", "Federation", "FederatedAlgorithm"]
+
+
+class Federation:
+    """Concrete clients + server + channel for one experiment."""
+
+    def __init__(
+        self,
+        clients: List[FLClient],
+        server: FLServer,
+        bundle: FederatedDataBundle,
+        channel: CommChannel,
+        participation: ParticipationSampler,
+    ) -> None:
+        self.clients = clients
+        self.server = server
+        self.bundle = bundle
+        self.channel = channel
+        self.participation = participation
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    @property
+    def public_x(self) -> np.ndarray:
+        return self.bundle.public
+
+
+def _partition_indices(bundle: FederatedDataBundle, config: FederationConfig):
+    kind, kwargs = config.partition
+    if kind == "iid":
+        return partition_iid(bundle.train, config.num_clients, seed=config.seed)
+    if kind == "dirichlet":
+        return partition_dirichlet(
+            bundle.train, config.num_clients, seed=config.seed, **kwargs
+        )
+    if kind == "shards":
+        return partition_shards(
+            bundle.train, config.num_clients, seed=config.seed, **kwargs
+        )
+    if kind == "by_classes":
+        return partition_by_classes(bundle.train, seed=config.seed, **kwargs)
+    raise ValueError(f"unknown partition kind '{kind}'")
+
+
+def build_federation(
+    bundle: FederatedDataBundle, config: FederationConfig
+) -> Federation:
+    """Instantiate clients (with their models and local splits) and the server."""
+    parts = _partition_indices(bundle, config)
+    model_names = config.client_model_names()
+    clients: List[FLClient] = []
+    for cid, indices in enumerate(parts):
+        train_idx, test_idx = split_local_train_test(
+            indices,
+            test_fraction=config.local_test_fraction,
+            seed=config.seed + 1000 + cid,
+        )
+        model = build_model(
+            model_names[cid],
+            bundle.num_classes,
+            bundle.image_shape,
+            feature_dim=config.feature_dim,
+            rng=config.seed + 2000 + cid,
+        )
+        clients.append(
+            FLClient(
+                client_id=cid,
+                model=model,
+                x_train=bundle.train.x[train_idx],
+                y_train=bundle.train.y[train_idx],
+                x_test=bundle.train.x[test_idx],
+                y_test=bundle.train.y[test_idx],
+                num_classes=bundle.num_classes,
+                seed=config.seed + 3000 + cid,
+            )
+        )
+    server_model = None
+    if config.server_model is not None:
+        server_model = build_model(
+            config.server_model,
+            bundle.num_classes,
+            bundle.image_shape,
+            feature_dim=config.feature_dim,
+            rng=config.seed + 4000,
+        )
+    server = FLServer(server_model, seed=config.seed + 5000)
+    participation = ParticipationSampler(
+        num_clients=len(clients),
+        dropout_prob=config.dropout_prob,
+        seed=config.seed + 6000,
+    )
+    return Federation(clients, server, bundle, CommChannel(), participation)
+
+
+class FederatedAlgorithm:
+    """Base class for synchronous FL algorithms.
+
+    Subclasses implement :meth:`run_round`, using ``self.federation`` for
+    clients/server/public data and ``self.channel`` for every transfer.
+    """
+
+    name = "base"
+
+    def __init__(self, federation: Federation, seed: int = 0) -> None:
+        self.federation = federation
+        self.rng = np.random.default_rng(seed)
+        self.round_index = 0
+
+    # convenient aliases -------------------------------------------------
+    @property
+    def clients(self) -> List[FLClient]:
+        return self.federation.clients
+
+    @property
+    def server(self) -> FLServer:
+        return self.federation.server
+
+    @property
+    def channel(self) -> CommChannel:
+        return self.federation.channel
+
+    @property
+    def bundle(self) -> FederatedDataBundle:
+        return self.federation.bundle
+
+    @property
+    def public_x(self) -> np.ndarray:
+        return self.federation.public_x
+
+    def active_clients(self) -> List[FLClient]:
+        """Clients participating this round (after failure injection)."""
+        ids = self.federation.participation.sample()
+        return [self.clients[i] for i in ids]
+
+    # ------------------------------------------------------------------
+    # the round contract
+    # ------------------------------------------------------------------
+    def run_round(self, participants: List[FLClient]) -> Dict[str, float]:
+        """Execute one communication round; return optional extra metrics."""
+        raise NotImplementedError
+
+    def evaluate_server(self) -> float:
+        return self.server.evaluate(self.bundle.test.x, self.bundle.test.y)
+
+    def evaluate_clients(self) -> List[float]:
+        return [c.evaluate() for c in self.clients]
+
+    def run(
+        self,
+        rounds: int,
+        eval_every: int = 1,
+        history: Optional[RunHistory] = None,
+        verbose: bool = False,
+    ) -> RunHistory:
+        """Run ``rounds`` communication rounds, recording metrics.
+
+        Evaluation happens every ``eval_every`` rounds and always on the
+        final round.  An existing ``history`` may be passed to continue a
+        run.
+        """
+        if history is None:
+            history = RunHistory(
+                self.name, dataset=self.bundle.name, config={"rounds": rounds}
+            )
+        for _ in range(rounds):
+            start = time.perf_counter()
+            participants = self.active_clients()
+            extras = self.run_round(participants) or {}
+            self.round_index += 1
+            elapsed = time.perf_counter() - start
+            if self.round_index % eval_every == 0 or _ == rounds - 1:
+                snap = self.channel.mark_round()
+                record = RoundRecord(
+                    round_index=self.round_index,
+                    server_acc=self.evaluate_server(),
+                    client_accs=self.evaluate_clients(),
+                    comm_uplink_bytes=snap.uplink,
+                    comm_downlink_bytes=snap.downlink,
+                    wall_time_s=elapsed,
+                    extras=dict(extras),
+                )
+                history.append(record)
+                if verbose:
+                    print(
+                        f"[{self.name}] round {self.round_index}: "
+                        f"S_acc={record.server_acc:.3f} "
+                        f"C_acc={record.mean_client_acc:.3f} "
+                        f"comm={record.comm_total_mb:.2f}MB"
+                    )
+        return history

@@ -1,0 +1,186 @@
+"""Wall-clock simulation of heterogeneous devices.
+
+The paper's motivation is *system heterogeneity*: clients differ in
+compute and network speed, so synchronous FL waits for stragglers, and the
+choice of per-client model architecture (FedPKD's freedom) directly shapes
+the round time.  This module provides a simple analytic timing model:
+
+- a :class:`DeviceProfile` gives a client's compute throughput (MFLOP/s
+  equivalent, here expressed as trainable-parameter-steps per second) and
+  up/down bandwidth (bytes/s);
+- :class:`TimingModel` turns per-round work measurements (training steps ×
+  model size, payload bytes) into per-client durations;
+- a synchronous round's duration is the slowest client's compute+transfer
+  time plus the server's own work.
+
+This supports time-to-accuracy comparisons (an extension of Table I) and
+straggler analyses — e.g. quantifying how much FedPKD gains by giving slow
+devices small models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["DeviceProfile", "DEVICE_CLASSES", "TimingModel", "RoundTiming"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Resource capabilities of one client device.
+
+    ``compute_rate`` is parameter-update throughput: how many
+    (parameter × SGD-step) units the device processes per second.  A model
+    with ``P`` parameters trained for ``S`` steps costs ``P * S /
+    compute_rate`` seconds.  Bandwidths are bytes per second.
+    """
+
+    name: str
+    compute_rate: float
+    uplink_bps: float
+    downlink_bps: float
+
+    def __post_init__(self) -> None:
+        if self.compute_rate <= 0 or self.uplink_bps <= 0 or self.downlink_bps <= 0:
+            raise ValueError("device rates must be positive")
+
+
+# Representative device classes, ordered weakest to strongest.  Numbers are
+# synthetic but keep realistic ~30x compute and ~20x bandwidth spreads
+# between embedded IoT nodes and edge servers.
+DEVICE_CLASSES: Dict[str, DeviceProfile] = {
+    "iot": DeviceProfile("iot", compute_rate=2e6, uplink_bps=0.25e6, downlink_bps=1e6),
+    "mobile": DeviceProfile(
+        "mobile", compute_rate=10e6, uplink_bps=1e6, downlink_bps=4e6
+    ),
+    "laptop": DeviceProfile(
+        "laptop", compute_rate=30e6, uplink_bps=2.5e6, downlink_bps=10e6
+    ),
+    "edge": DeviceProfile(
+        "edge", compute_rate=60e6, uplink_bps=5e6, downlink_bps=20e6
+    ),
+}
+
+
+@dataclass
+class RoundTiming:
+    """Per-round timing breakdown (seconds)."""
+
+    per_client_compute: Dict[int, float]
+    per_client_comm: Dict[int, float]
+    server_compute: float
+
+    def client_total(self, client_id: int) -> float:
+        return self.per_client_compute.get(client_id, 0.0) + self.per_client_comm.get(
+            client_id, 0.0
+        )
+
+    @property
+    def slowest_client(self) -> Optional[int]:
+        ids = set(self.per_client_compute) | set(self.per_client_comm)
+        if not ids:
+            return None
+        return max(ids, key=self.client_total)
+
+    @property
+    def round_duration(self) -> float:
+        """Synchronous round time: slowest client plus server work."""
+        slowest = self.slowest_client
+        client_time = self.client_total(slowest) if slowest is not None else 0.0
+        return client_time + self.server_compute
+
+
+class TimingModel:
+    """Accumulates work and converts it to simulated wall-clock time.
+
+    Usage: assign a profile per client, then per round record training work
+    (``parameter_steps = num_params * num_sgd_steps``) and transfers; call
+    :meth:`close_round` to get a :class:`RoundTiming` and reset.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[DeviceProfile],
+        server_compute_rate: float = 200e6,
+    ) -> None:
+        if server_compute_rate <= 0:
+            raise ValueError("server_compute_rate must be positive")
+        self.profiles = list(profiles)
+        self.server_compute_rate = server_compute_rate
+        self._compute: Dict[int, float] = {}
+        self._comm: Dict[int, float] = {}
+        self._server_work = 0.0
+        self.round_history: List[RoundTiming] = []
+
+    def profile(self, client_id: int) -> DeviceProfile:
+        return self.profiles[client_id % len(self.profiles)]
+
+    # ------------------------------------------------------------------
+    # work recording
+    # ------------------------------------------------------------------
+    def record_training(self, client_id: int, parameter_steps: float) -> None:
+        """Record local training work (num_params × SGD steps)."""
+        seconds = parameter_steps / self.profile(client_id).compute_rate
+        self._compute[client_id] = self._compute.get(client_id, 0.0) + seconds
+
+    def record_upload(self, client_id: int, num_bytes: int) -> None:
+        seconds = num_bytes / self.profile(client_id).uplink_bps
+        self._comm[client_id] = self._comm.get(client_id, 0.0) + seconds
+
+    def record_download(self, client_id: int, num_bytes: int) -> None:
+        seconds = num_bytes / self.profile(client_id).downlink_bps
+        self._comm[client_id] = self._comm.get(client_id, 0.0) + seconds
+
+    def record_server_training(self, parameter_steps: float) -> None:
+        self._server_work += parameter_steps / self.server_compute_rate
+
+    # ------------------------------------------------------------------
+    # round closing
+    # ------------------------------------------------------------------
+    def close_round(self) -> RoundTiming:
+        timing = RoundTiming(
+            per_client_compute=dict(self._compute),
+            per_client_comm=dict(self._comm),
+            server_compute=self._server_work,
+        )
+        self.round_history.append(timing)
+        self._compute.clear()
+        self._comm.clear()
+        self._server_work = 0.0
+        return timing
+
+    @property
+    def total_time(self) -> float:
+        return sum(t.round_duration for t in self.round_history)
+
+    def straggler_gap(self) -> float:
+        """Mean ratio of slowest to median client time across rounds.
+
+        Quantifies how unbalanced the rounds are: 1.0 means perfectly
+        balanced; large values mean strong stragglers (the problem
+        heterogeneous model assignment addresses).
+        """
+        ratios = []
+        for timing in self.round_history:
+            ids = set(timing.per_client_compute) | set(timing.per_client_comm)
+            if len(ids) < 2:
+                continue
+            totals = sorted(timing.client_total(c) for c in ids)
+            median = float(np.median(totals))
+            if median > 0:
+                ratios.append(totals[-1] / median)
+        return float(np.mean(ratios)) if ratios else 1.0
+
+
+def estimate_training_steps(num_samples: int, epochs: int, batch_size: int) -> int:
+    """SGD steps for one training phase (ceil per epoch)."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    steps_per_epoch = (num_samples + batch_size - 1) // batch_size
+    return steps_per_epoch * epochs
+
+
+__all__.append("estimate_training_steps")

@@ -1,0 +1,94 @@
+"""From-scratch neural-network substrate (numpy autograd) for the FedPKD repro.
+
+Public surface::
+
+    from repro import nn
+    model = nn.build_model("resnet20", num_classes=10, image_shape=(3, 8, 8))
+    logits, feats = model.forward_with_features(nn.Tensor(x))
+    loss = nn.losses.cross_entropy(logits, y)
+    loss.backward()
+    nn.Adam(model.parameters()).step()
+"""
+
+from . import functional, init, losses, optim
+from .layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from .models import (
+    MODEL_REGISTRY,
+    BasicBlock,
+    ClassifierModel,
+    MLPClassifier,
+    ResNetClassifier,
+    build_model,
+    model_num_parameters,
+)
+from .optim import Adam, Optimizer, SGD, clip_grad_norm
+from .schedulers import CosineAnnealingLR, LRScheduler, StepLR, WarmupLR
+from .serialize import (
+    WIRE_DTYPE,
+    array_num_bytes,
+    deserialize_state,
+    payload_num_bytes,
+    serialize_state,
+)
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "losses",
+    "optim",
+    "init",
+    "Module",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "Sequential",
+    "ClassifierModel",
+    "MLPClassifier",
+    "ResNetClassifier",
+    "BasicBlock",
+    "build_model",
+    "model_num_parameters",
+    "MODEL_REGISTRY",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "WarmupLR",
+    "WIRE_DTYPE",
+    "payload_num_bytes",
+    "array_num_bytes",
+    "serialize_state",
+    "deserialize_state",
+]

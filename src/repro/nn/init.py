@@ -1,0 +1,45 @@
+"""Parameter initialisers and RNG plumbing for the nn substrate."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = ["ensure_rng", "kaiming_uniform", "xavier_uniform", "normal"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike) -> np.random.Generator:
+    """Coerce ``None`` / seed / Generator into a ``numpy.random.Generator``."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def kaiming_uniform(
+    rng: np.random.Generator, shape: Tuple[int, ...], fan_in: Optional[int] = None
+) -> np.ndarray:
+    """He-uniform initialisation suited to ReLU networks."""
+    if fan_in is None:
+        fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """Glorot-uniform initialisation for tanh/sigmoid networks."""
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    fan_out = shape[0]
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(
+    rng: np.random.Generator, shape: Tuple[int, ...], std: float = 0.01
+) -> np.ndarray:
+    """Zero-mean Gaussian initialisation."""
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,335 @@
+"""Neural-network layers: a minimal ``Module`` system over the autograd core.
+
+The design mirrors ``torch.nn``: layers hold :class:`~repro.nn.Tensor`
+parameters with ``requires_grad=True``, nested modules are discovered through
+attribute inspection, and ``state_dict``/``load_state_dict`` round-trip all
+parameters and buffers (running statistics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "Sequential",
+]
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # forward protocol
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def named_children(self) -> Iterator[Tuple[str, "Module"]]:
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield name, value
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, value in vars(self).items():
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield prefix + name, value
+        for child_name, child in self.named_children():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, value in vars(self).items():
+            if isinstance(value, np.ndarray):
+                yield prefix + name, value
+        for child_name, child in self.named_children():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # train / eval, gradient helpers
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for _, child in self.named_children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat name → array mapping of parameters and buffers."""
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        state.update({name: b.copy() for name, b in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (strict matching)."""
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        expected = set(own_params) | set(own_buffers)
+        got = set(state)
+        if expected != got:
+            missing = sorted(expected - got)
+            unexpected = sorted(got - expected)
+            raise KeyError(
+                f"state_dict mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        for name, param in own_params.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {param.shape}"
+                )
+            param.data = value.copy()
+        for name, buf in own_buffers.items():
+            value = np.asarray(state[name], dtype=buf.dtype)
+            if value.shape != buf.shape:
+                raise ValueError(
+                    f"shape mismatch for buffer {name}: {value.shape} vs {buf.shape}"
+                )
+            buf[...] = value
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b``."""
+
+    def __init__(
+        self, in_features: int, out_features: int, bias: bool = True, rng=None
+    ) -> None:
+        super().__init__()
+        rng = init.ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            init.kaiming_uniform(rng, (out_features, in_features), fan_in=in_features),
+            requires_grad=True,
+        )
+        self.bias: Optional[Tensor] = None
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Tensor(
+                rng.uniform(-bound, bound, size=out_features), requires_grad=True
+            )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class Conv2d(Module):
+    """2-D convolution layer over NCHW input."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        rng = init.ensure_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Tensor(
+            init.kaiming_uniform(
+                rng,
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in=fan_in,
+            ),
+            requires_grad=True,
+        )
+        self.bias: Optional[Tensor] = None
+        if bias:
+            bound = 1.0 / np.sqrt(fan_in)
+            self.bias = Tensor(
+                rng.uniform(-bound, bound, size=out_channels), requires_grad=True
+            )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class _BatchNorm(Module):
+    """Shared implementation of 1-D/2-D batch normalisation."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Tensor(np.ones(num_features), requires_grad=True)
+        self.bias = Tensor(np.zeros(num_features), requires_grad=True)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def _normalize(self, x: Tensor, axes: Tuple[int, ...], shape) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = ((x - mean) ** 2).mean(axis=axes, keepdims=True)
+            self.running_mean[...] = (
+                (1 - self.momentum) * self.running_mean
+                + self.momentum * mean.data.reshape(-1)
+            )
+            self.running_var[...] = (
+                (1 - self.momentum) * self.running_var
+                + self.momentum * var.data.reshape(-1)
+            )
+        else:
+            mean = Tensor(self.running_mean.reshape(shape))
+            var = Tensor(self.running_var.reshape(shape))
+        norm = (x - mean) / ((var + self.eps) ** 0.5)
+        return norm * self.weight.reshape(shape) + self.bias.reshape(shape)
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalisation over ``(N, C)`` activations."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects (N, C) input, got {x.shape}")
+        return self._normalize(x, axes=(0,), shape=(1, self.num_features))
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalisation over ``(N, C, H, W)`` activations."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (N, C, H, W) input, got {x.shape}")
+        return self._normalize(x, axes=(0, 2, 3), shape=(1, self.num_features, 1, 1))
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng=None) -> None:
+        super().__init__()
+        self.p = p
+        self.rng = init.ensure_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """Run modules in order; supports iteration and indexing."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._modules: List[Module] = list(modules)
+        for i, module in enumerate(self._modules):
+            setattr(self, f"m{i}", module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._modules:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[index]

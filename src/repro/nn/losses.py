@@ -1,0 +1,127 @@
+"""Loss functions used by FedPKD and the baselines.
+
+All losses take raw (pre-softmax) logits where applicable; soft-target losses
+optionally apply a distillation temperature.  Each returns a scalar
+:class:`~repro.nn.Tensor` (mean over the batch) ready for ``backward()``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = [
+    "cross_entropy",
+    "soft_cross_entropy",
+    "kl_divergence",
+    "mse_loss",
+    "proximal_term",
+]
+
+
+def _lift_targets(targets: Union[Tensor, np.ndarray]) -> np.ndarray:
+    return targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+
+
+def cross_entropy(logits: Tensor, labels: Union[np.ndarray, list]) -> Tensor:
+    """Mean cross-entropy between logits and integer class labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"cross_entropy expects (N, C) logits, got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+        )
+    log_probs = F.log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(len(labels)), labels]
+    return -picked.mean()
+
+
+def soft_cross_entropy(
+    logits: Tensor, target_probs: Union[Tensor, np.ndarray]
+) -> Tensor:
+    """Mean cross-entropy against a soft target distribution.
+
+    ``target_probs`` must be a valid probability distribution per row; it is
+    treated as a constant (no gradient flows into it).
+    """
+    target = _lift_targets(target_probs)
+    if target.shape != logits.shape:
+        raise ValueError(
+            f"target shape {target.shape} must match logits {logits.shape}"
+        )
+    log_probs = F.log_softmax(logits, axis=1)
+    return -(log_probs * Tensor(target)).sum(axis=1).mean()
+
+
+def _softmax_np(logits: np.ndarray, temperature: float) -> np.ndarray:
+    scaled = logits / temperature
+    scaled = scaled - scaled.max(axis=1, keepdims=True)
+    exp = np.exp(scaled)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def kl_divergence(
+    teacher_logits: Union[Tensor, np.ndarray],
+    student_logits: Tensor,
+    temperature: float = 1.0,
+) -> Tensor:
+    """Mean KL(teacher ‖ student) over the batch, à la Hinton distillation.
+
+    The teacher distribution is a constant; gradients flow only into the
+    student logits.  The classic ``T^2`` factor keeps gradient magnitudes
+    comparable across temperatures.
+    """
+    teacher = _lift_targets(teacher_logits)
+    if teacher.shape != student_logits.shape:
+        raise ValueError(
+            f"teacher shape {teacher.shape} must match student {student_logits.shape}"
+        )
+    teacher_probs = _softmax_np(teacher, temperature)
+    scaled_student = student_logits * (1.0 / temperature)
+    student_log_probs = F.log_softmax(scaled_student, axis=1)
+    # KL(p||q) = sum p log p - sum p log q; the entropy term is constant.
+    entropy = float((teacher_probs * np.log(teacher_probs + 1e-12)).sum(axis=1).mean())
+    cross = -(student_log_probs * Tensor(teacher_probs)).sum(axis=1).mean()
+    return (cross + entropy) * (temperature**2)
+
+
+def mse_loss(prediction: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared error; target may be a constant array or a Tensor."""
+    if not isinstance(target, Tensor):
+        target = Tensor(np.asarray(target, dtype=np.float64))
+    if target.shape != prediction.shape:
+        raise ValueError(
+            f"target shape {target.shape} must match prediction {prediction.shape}"
+        )
+    return ((prediction - target) ** 2).mean()
+
+
+def proximal_term(
+    parameters, reference: dict, mu: float
+) -> Optional[Tensor]:
+    """FedProx proximal regulariser ``(mu/2) * ||w - w_global||^2``.
+
+    Parameters
+    ----------
+    parameters:
+        Iterable of ``(name, Tensor)`` pairs from ``named_parameters()``.
+    reference:
+        Name → ``numpy.ndarray`` snapshot of the global weights.
+    mu:
+        Proximal coefficient; ``0`` disables the term (returns ``None``).
+    """
+    if mu == 0.0:
+        return None
+    total: Optional[Tensor] = None
+    for name, param in parameters:
+        anchor = reference[name]
+        sq = ((param - Tensor(anchor)) ** 2).sum()
+        total = sq if total is None else total + sq
+    if total is None:
+        return None
+    return total * (mu / 2.0)

@@ -1,0 +1,88 @@
+"""Learning-rate schedulers for the optimisers.
+
+Minimal PyTorch-style schedulers: construct over an optimiser, call
+``step()`` once per epoch (or round).  Useful for paper-scale runs where a
+constant Adam lr plateaus late in training.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupLR"]
+
+
+class LRScheduler:
+    """Base scheduler: tracks epochs and rewrites ``optimizer.lr``."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        new_lr = self.get_lr()
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base lr to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1, got {t_max}")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup from ``start_factor * base_lr`` to the base lr."""
+
+    def __init__(
+        self, optimizer: Optimizer, warmup_epochs: int, start_factor: float = 0.1
+    ) -> None:
+        if warmup_epochs < 1:
+            raise ValueError(f"warmup_epochs must be >= 1, got {warmup_epochs}")
+        if not 0.0 < start_factor <= 1.0:
+            raise ValueError("start_factor must be in (0, 1]")
+        super().__init__(optimizer)
+        self.warmup_epochs = warmup_epochs
+        self.start_factor = start_factor
+        # apply the initial warmup factor immediately
+        optimizer.lr = self.base_lr * start_factor
+
+    def get_lr(self) -> float:
+        if self.epoch >= self.warmup_epochs:
+            return self.base_lr
+        frac = self.epoch / self.warmup_epochs
+        return self.base_lr * (self.start_factor + (1 - self.start_factor) * frac)

@@ -1,0 +1,481 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate.  It provides a
+:class:`Tensor` wrapper around ``numpy.ndarray`` that records a dynamic
+computation graph and supports backpropagation through it, in the style of
+PyTorch's eager autograd but implemented from scratch.
+
+Only the operations needed by the FedPKD reproduction are implemented, but
+each of them handles full numpy broadcasting and has gradient correctness
+verified by finite-difference tests in ``tests/nn/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Scalar = Union[int, float]
+ArrayLike = Union[np.ndarray, Scalar, Sequence]
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (like ``torch.no_grad``)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded for backprop."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    When an operand of shape ``shape`` was broadcast up to ``grad.shape``
+    during the forward pass, its gradient is the sum of ``grad`` over the
+    broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array contents; anything ``numpy.asarray`` accepts.
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad`` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = _parents
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, threshold=8)}{grad_flag})"
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError(f"item() requires a single-element tensor, got {self.shape}")
+        return float(self.data.reshape(()))
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy); detached from the graph."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lift(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other) / self
+
+    def __pow__(self, exponent: Scalar) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor.__pow__ supports scalar exponents only")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._lift(other)
+        if self.ndim != 2 or other.ndim != 2:
+            raise ValueError(
+                f"matmul expects 2-D operands, got {self.shape} @ {other.shape}"
+            )
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad @ other.data.T)
+            other._accumulate(self.data.T @ grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        scale = np.where(mask, 1.0, negative_slope)
+        out_data = self.data * scale
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * scale)
+
+        return self._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * sign)
+
+        return self._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(
+        self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False
+    ) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                axes = tuple(a % self.ndim for a in axes)
+                g = np.expand_dims(g, axes)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(
+        self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False
+    ) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) / count
+
+    def max(
+        self, axis: Optional[int] = None, keepdims: bool = False
+    ) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if axis is None:
+                mask = self.data == out_data
+                # split ties evenly so the gradient check is deterministic
+                self._accumulate(grad * mask / mask.sum())
+            else:
+                expanded = out_data if keepdims else np.expand_dims(out_data, axis)
+                g = grad if keepdims else np.expand_dims(grad, axis)
+                mask = self.data == expanded
+                counts = mask.sum(axis=axis, keepdims=True)
+                self._accumulate(g * mask / counts)
+
+        return self._make(out_data, (self,), backward)
+
+    def var(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        sq = (self - mu) ** 2
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        in_shape = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(in_shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
+        out_data = self.data.transpose(axes)
+        if axes is None:
+            inverse: Optional[Tuple[int, ...]] = None
+        else:
+            inverse = tuple(np.argsort(axes))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the last two (spatial) axes of an NCHW tensor."""
+        if padding == 0:
+            return self
+        pad_width = [(0, 0)] * (self.ndim - 2) + [(padding, padding)] * 2
+        out_data = np.pad(self.data, pad_width)
+
+        def backward(grad: np.ndarray) -> None:
+            slices = [slice(None)] * (self.ndim - 2) + [
+                slice(padding, -padding),
+                slice(padding, -padding),
+            ]
+            self._accumulate(grad[tuple(slices)])
+
+        return self._make(out_data, (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._lift(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+                slices = [slice(None)] * grad.ndim
+                slices[axis] = slice(lo, hi)
+                t._accumulate(grad[tuple(slices)])
+
+        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        if not requires:
+            return Tensor(out_data)
+        return Tensor(
+            out_data, requires_grad=True, _parents=tuple(tensors), _backward=backward
+        )
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to 1 for scalar tensors; required for
+            non-scalar outputs.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor without grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("backward() on non-scalar output needs a seed grad")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)

@@ -1,0 +1,98 @@
+"""Tests for confusion matrix, top-k accuracy, and recall/precision."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    confusion_matrix,
+    per_class_recall_precision,
+    top_k_accuracy,
+)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        preds = np.array([0, 1, 1, 2])
+        labels = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(preds, labels, 3)
+        expected = np.array([[1, 0, 0], [0, 1, 0], [0, 1, 1]])
+        np.testing.assert_array_equal(matrix, expected)
+
+    def test_total_equals_samples(self):
+        rng = np.random.default_rng(0)
+        preds = rng.integers(0, 4, 50)
+        labels = rng.integers(0, 4, 50)
+        assert confusion_matrix(preds, labels, 4).sum() == 50
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3), np.zeros(4), 2)
+
+
+class TestTopK:
+    def test_k1_equals_accuracy(self):
+        logits = np.array([[3.0, 1.0], [0.0, 2.0], [5.0, 4.0]])
+        labels = np.array([0, 1, 1])
+        assert top_k_accuracy(logits, labels, k=1) == pytest.approx(2 / 3)
+
+    def test_k_equals_classes_is_one(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(10, 4))
+        labels = rng.integers(0, 4, 10)
+        assert top_k_accuracy(logits, labels, k=4) == 1.0
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(100, 6))
+        labels = rng.integers(0, 6, 100)
+        accs = [top_k_accuracy(logits, labels, k=k) for k in range(1, 7)]
+        assert accs == sorted(accs)
+
+    def test_empty_input(self):
+        assert top_k_accuracy(np.zeros((0, 3)), np.zeros(0), k=2) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2), k=0)
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2), k=4)
+
+
+class TestRecallPrecision:
+    def test_perfect_classifier(self):
+        matrix = np.diag([5, 3, 2])
+        recall, precision = per_class_recall_precision(matrix)
+        np.testing.assert_allclose(recall, [1, 1, 1])
+        np.testing.assert_allclose(precision, [1, 1, 1])
+
+    def test_nan_for_absent_classes(self):
+        matrix = np.array([[2, 0], [0, 0]])
+        recall, precision = per_class_recall_precision(matrix)
+        assert np.isnan(recall[1]) and np.isnan(precision[1])
+
+    def test_values(self):
+        matrix = np.array([[3, 1], [2, 4]])
+        recall, precision = per_class_recall_precision(matrix)
+        np.testing.assert_allclose(recall, [0.75, 4 / 6])
+        np.testing.assert_allclose(precision, [0.6, 0.8])
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            per_class_recall_precision(np.zeros((2, 3)))
+
+
+@given(
+    n=st.integers(1, 60),
+    num_classes=st.integers(2, 6),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=25, deadline=None)
+def test_confusion_matrix_consistency(n, num_classes, seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(n, num_classes))
+    labels = rng.integers(0, num_classes, n)
+    matrix = confusion_matrix(logits.argmax(axis=1), labels, num_classes)
+    # diagonal mass / total equals top-1 accuracy
+    acc = np.trace(matrix) / n
+    assert acc == pytest.approx(top_k_accuracy(logits, labels, k=1))

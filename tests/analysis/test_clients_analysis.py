@@ -1,0 +1,87 @@
+"""Tests for client similarity and community detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    build_client_graph,
+    client_communities,
+    label_distribution_similarity,
+    prototype_similarity,
+)
+
+
+class TestLabelSimilarity:
+    def test_identical_distributions(self):
+        counts = [np.array([5, 5]), np.array([50, 50])]
+        sim = label_distribution_similarity(counts)
+        assert sim[0, 1] == pytest.approx(1.0)
+
+    def test_disjoint_distributions(self):
+        counts = [np.array([10, 0]), np.array([0, 10])]
+        sim = label_distribution_similarity(counts)
+        assert sim[0, 1] == pytest.approx(0.0)
+
+    def test_symmetric_with_unit_diagonal(self):
+        rng = np.random.default_rng(0)
+        counts = [rng.integers(1, 20, 5) for _ in range(4)]
+        sim = label_distribution_similarity(counts)
+        np.testing.assert_allclose(sim, sim.T)
+        np.testing.assert_allclose(np.diag(sim), np.ones(4))
+
+    def test_zero_samples_raises(self):
+        with pytest.raises(ValueError):
+            label_distribution_similarity([np.zeros(3)])
+
+
+class TestPrototypeSimilarity:
+    def test_identical_prototypes(self):
+        protos = np.random.default_rng(0).normal(size=(3, 4))
+        sim = prototype_similarity([protos, protos.copy()])
+        assert sim[0, 1] == pytest.approx(1.0)
+
+    def test_no_shared_classes(self):
+        a = np.full((3, 2), np.nan)
+        a[0] = [1.0, 0.0]
+        b = np.full((3, 2), np.nan)
+        b[2] = [0.0, 1.0]
+        sim = prototype_similarity([a, b])
+        assert sim[0, 1] == 0.0
+
+    def test_opposite_prototypes(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[-1.0, 0.0]])
+        sim = prototype_similarity([a, b])
+        assert sim[0, 1] == pytest.approx(-1.0)
+
+
+class TestGraphAndCommunities:
+    def test_threshold_controls_edges(self):
+        sim = np.array([[1.0, 0.9, 0.1], [0.9, 1.0, 0.1], [0.1, 0.1, 1.0]])
+        g_loose = build_client_graph(sim, threshold=0.05)
+        g_tight = build_client_graph(sim, threshold=0.5)
+        assert g_loose.number_of_edges() == 3
+        assert g_tight.number_of_edges() == 1
+
+    def test_invalid_matrix(self):
+        with pytest.raises(ValueError):
+            build_client_graph(np.zeros((2, 3)))
+
+    def test_communities_split_disjoint_groups(self):
+        # clients 0-1 share classes, 2-3 share different classes
+        counts = [
+            np.array([10, 10, 0, 0]),
+            np.array([8, 12, 0, 0]),
+            np.array([0, 0, 10, 10]),
+            np.array([0, 0, 12, 8]),
+        ]
+        sim = label_distribution_similarity(counts)
+        communities = client_communities(sim, threshold=0.5)
+        as_sets = {frozenset(c) for c in communities}
+        assert frozenset({0, 1}) in as_sets
+        assert frozenset({2, 3}) in as_sets
+
+    def test_no_edges_gives_singletons(self):
+        sim = np.eye(3)
+        communities = client_communities(sim, threshold=0.5)
+        assert sorted(map(len, communities)) == [1, 1, 1]

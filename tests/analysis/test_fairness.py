@@ -1,0 +1,72 @@
+"""Tests for fairness diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import fairness_report, history_fairness
+from repro.fl import RoundRecord, RunHistory
+
+
+class TestFairnessReport:
+    def test_perfect_equality(self):
+        report = fairness_report([0.7, 0.7, 0.7])
+        assert report.jain_index == pytest.approx(1.0)
+        assert report.std == pytest.approx(0.0, abs=1e-12)
+        assert report.spread == pytest.approx(0.0, abs=1e-12)
+
+    def test_inequality_lowers_jain(self):
+        equal = fairness_report([0.5, 0.5, 0.5, 0.5])
+        skewed = fairness_report([0.9, 0.1, 0.1, 0.1])
+        assert skewed.jain_index < equal.jain_index
+
+    def test_worst_decile(self):
+        accs = list(np.linspace(0.1, 1.0, 20))
+        report = fairness_report(accs)
+        assert report.worst_decile_mean == pytest.approx(np.mean(sorted(accs)[:2]))
+
+    def test_summary_stats(self):
+        report = fairness_report([0.2, 0.8])
+        assert report.mean == pytest.approx(0.5)
+        assert report.min == 0.2 and report.max == 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fairness_report([])
+        with pytest.raises(ValueError):
+            fairness_report([-0.1])
+
+    def test_all_zero_accuracies(self):
+        report = fairness_report([0.0, 0.0])
+        assert report.jain_index == 1.0
+
+
+class TestHistoryFairness:
+    def make_history(self):
+        h = RunHistory("algo")
+        h.append(RoundRecord(1, 0.5, [0.2, 0.4], 0, 0))
+        h.append(RoundRecord(2, 0.6, [0.6, 0.8], 0, 0))
+        return h
+
+    def test_defaults_to_last_round(self):
+        report = history_fairness(self.make_history())
+        assert report.mean == pytest.approx(0.7)
+
+    def test_explicit_round(self):
+        report = history_fairness(self.make_history(), round_index=0)
+        assert report.mean == pytest.approx(0.3)
+
+    def test_empty_history(self):
+        with pytest.raises(ValueError):
+            history_fairness(RunHistory("algo"))
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30)
+)
+@settings(max_examples=40, deadline=None)
+def test_jain_index_bounds(accs):
+    report = fairness_report(accs)
+    n = len(accs)
+    assert 1.0 / n - 1e-9 <= report.jain_index <= 1.0 + 1e-9
+    assert report.min <= report.worst_decile_mean <= report.mean + 1e-12

@@ -1,0 +1,64 @@
+"""Tests for logit-quality diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import logit_quality_report, per_class_accuracy
+
+
+def one_hot_logits(labels, num_classes, scale=5.0):
+    out = np.zeros((len(labels), num_classes))
+    out[np.arange(len(labels)), labels] = scale
+    return out
+
+
+class TestPerClassAccuracy:
+    def test_perfect_predictions(self):
+        labels = np.array([0, 1, 2, 0])
+        acc = per_class_accuracy(one_hot_logits(labels, 3), labels, 3)
+        np.testing.assert_allclose(acc, [1.0, 1.0, 1.0])
+
+    def test_absent_class_nan(self):
+        labels = np.array([0, 0])
+        acc = per_class_accuracy(one_hot_logits(labels, 3), labels, 3)
+        assert acc[0] == 1.0
+        assert np.isnan(acc[1]) and np.isnan(acc[2])
+
+    def test_partial_accuracy(self):
+        labels = np.array([0, 0, 0, 0])
+        preds = np.array([0, 0, 1, 1])
+        acc = per_class_accuracy(one_hot_logits(preds, 2), labels, 2)
+        assert acc[0] == pytest.approx(0.5)
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            per_class_accuracy(np.zeros((3, 2)), np.zeros(4), 2)
+
+
+class TestQualityReport:
+    def test_report_shapes(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 4, 50)
+        clients = [rng.normal(size=(50, 4)) for _ in range(3)]
+        agg = np.mean(clients, axis=0)
+        report = logit_quality_report(clients, agg, labels, 4)
+        assert report.client_acc.shape == (3, 4)
+        assert report.aggregated_acc.shape == (4,)
+        assert report.mean_confidence.shape == (3,)
+        assert 0 <= report.overall_aggregated_acc <= 1
+
+    def test_confidence_orders_peaked_vs_flat(self):
+        labels = np.zeros(20, dtype=int)
+        peaked = one_hot_logits(labels, 3, scale=10.0)
+        flat = np.zeros((20, 3))
+        report = logit_quality_report([peaked, flat], peaked, labels, 3)
+        assert report.mean_confidence[0] > report.mean_confidence[1]
+
+    def test_specialist_clients_show_in_matrix(self):
+        """Reproduces the Fig. 2 shape analytically: a client that always
+        predicts class 0 is perfect on class 0, zero elsewhere."""
+        labels = np.array([0, 0, 1, 1])
+        always_zero = one_hot_logits(np.zeros(4, dtype=int), 2)
+        report = logit_quality_report([always_zero], always_zero, labels, 2)
+        assert report.client_acc[0, 0] == 1.0
+        assert report.client_acc[0, 1] == 0.0

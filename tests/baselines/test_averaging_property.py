@@ -1,0 +1,64 @@
+"""Property tests for model-state averaging (Eq. 1)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines import weighted_average_states
+
+STATES = st.integers(2, 5).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            hnp.arrays(
+                dtype=np.float64,
+                shape=(3, 2),
+                elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+            ),
+            min_size=n,
+            max_size=n,
+        ),
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0), min_size=n, max_size=n
+        ),
+    )
+)
+
+
+@given(STATES)
+@settings(max_examples=40, deadline=None)
+def test_average_within_envelope(states_weights):
+    arrays, weights = states_weights
+    states = [{"w": a} for a in arrays]
+    avg = weighted_average_states(states, weights)["w"]
+    stacked = np.stack(arrays)
+    assert (avg >= stacked.min(axis=0) - 1e-9).all()
+    assert (avg <= stacked.max(axis=0) + 1e-9).all()
+
+
+@given(STATES)
+@settings(max_examples=40, deadline=None)
+def test_identical_states_are_fixed_point(states_weights):
+    arrays, weights = states_weights
+    states = [{"w": arrays[0].copy()} for _ in arrays]
+    avg = weighted_average_states(states, weights)["w"]
+    np.testing.assert_allclose(avg, arrays[0], atol=1e-9)
+
+
+@given(STATES)
+@settings(max_examples=40, deadline=None)
+def test_weight_scale_invariance(states_weights):
+    arrays, weights = states_weights
+    states = [{"w": a} for a in arrays]
+    base = weighted_average_states(states, weights)["w"]
+    scaled = weighted_average_states(states, [w * 7.5 for w in weights])["w"]
+    np.testing.assert_allclose(base, scaled, atol=1e-9)
+
+
+@given(STATES)
+@settings(max_examples=40, deadline=None)
+def test_dominant_weight_converges_to_its_state(states_weights):
+    arrays, weights = states_weights
+    states = [{"w": a} for a in arrays]
+    dominant = [1e12] + [1.0] * (len(arrays) - 1)
+    avg = weighted_average_states(states, dominant)["w"]
+    np.testing.assert_allclose(avg, arrays[0], atol=1e-6)

@@ -1,0 +1,102 @@
+"""Tests for FedAvg and FedProx."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FedAvg, FedAvgConfig, FedProx, FedProxConfig
+from repro.baselines.model_averaging import weighted_average_states
+from repro.fl import TrainingConfig
+
+from ..conftest import make_tiny_federation
+
+
+def fast_cfg(cls, **kw):
+    return cls(local=TrainingConfig(epochs=1, batch_size=16), **kw)
+
+
+class TestWeightedAverage:
+    def test_weighted_mean(self):
+        s1 = {"w": np.array([0.0, 0.0])}
+        s2 = {"w": np.array([4.0, 8.0])}
+        avg = weighted_average_states([s1, s2], [3, 1])
+        np.testing.assert_allclose(avg["w"], [1.0, 2.0])
+
+    def test_key_mismatch(self):
+        with pytest.raises(KeyError):
+            weighted_average_states([{"a": np.zeros(1)}, {"b": np.zeros(1)}], [1, 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_average_states([], [])
+        with pytest.raises(ValueError):
+            weighted_average_states([{"a": np.zeros(1)}], [-1])
+        with pytest.raises(ValueError):
+            weighted_average_states([{"a": np.zeros(1)}], [0])
+
+
+class TestFedAvg:
+    def test_requires_server_model(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        with pytest.raises(ValueError):
+            FedAvg(fed)
+
+    def test_requires_homogeneous(self, tiny_bundle):
+        fed = make_tiny_federation(
+            tiny_bundle, client_models=["mlp_small", "mlp_medium"],
+            server_model="mlp_small",
+        )
+        with pytest.raises(ValueError):
+            FedAvg(fed)
+
+    def test_round_synchronises_clients(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle)
+        algo = FedAvg(fed, config=fast_cfg(FedAvgConfig), seed=0)
+        algo.run(rounds=1)
+        # server state must equal the weighted average of uploaded states
+        states = [c.model.state_dict() for c in fed.clients]
+        sizes = [c.num_samples for c in fed.clients]
+        expected = weighted_average_states(states, sizes)
+        got = fed.server.model.state_dict()
+        for key in expected:
+            np.testing.assert_allclose(got[key], expected[key], atol=1e-12)
+
+    def test_comm_is_two_model_payloads_per_client(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle)
+        algo = FedAvg(fed, config=fast_cfg(FedAvgConfig), seed=0)
+        algo.run(rounds=1)
+        model_bytes = fed.server.model.num_parameters() * 4
+        snap = fed.channel.snapshot()
+        assert snap.uplink == 3 * model_bytes
+        assert snap.downlink == 3 * model_bytes
+
+    def test_learning_progress(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle)
+        cfg = FedAvgConfig(local=TrainingConfig(epochs=3, batch_size=16))
+        algo = FedAvg(fed, config=cfg, seed=0)
+        history = algo.run(rounds=4)
+        assert history.best_server_acc > 1.0 / tiny_bundle.num_classes + 0.1
+
+
+class TestFedProx:
+    def test_mu_validation(self):
+        with pytest.raises(ValueError):
+            FedProxConfig(mu=-1.0)
+
+    def test_differs_from_fedavg_with_large_mu(self, tiny_bundle):
+        fed_a = make_tiny_federation(tiny_bundle)
+        FedAvg(fed_a, config=fast_cfg(FedAvgConfig), seed=0).run(rounds=1)
+
+        fed_p = make_tiny_federation(tiny_bundle)
+        FedProx(
+            fed_p, config=fast_cfg(FedProxConfig, mu=5.0), seed=0
+        ).run(rounds=1)
+
+        wa = fed_a.server.model.state_dict()["classifier.weight"]
+        wp = fed_p.server.model.state_dict()["classifier.weight"]
+        assert np.abs(wa - wp).max() > 1e-9
+
+    def test_runs_multiple_rounds(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle)
+        algo = FedProx(fed, config=fast_cfg(FedProxConfig), seed=0)
+        history = algo.run(rounds=2)
+        assert len(history) == 2

@@ -1,0 +1,85 @@
+"""Tests for the FedProto baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FedProto, FedProtoConfig
+from repro.fl import TrainingConfig
+
+from ..conftest import make_tiny_federation
+
+FAST = TrainingConfig(epochs=1, batch_size=16)
+
+
+class TestFedProto:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FedProtoConfig(proto_weight=-1.0)
+
+    def test_no_server_model_needed(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        algo = FedProto(fed, config=FedProtoConfig(local=FAST), seed=0)
+        history = algo.run(rounds=2)
+        assert np.isnan(history.final_server_acc)
+        assert history.final_client_acc > 0
+
+    def test_prototypes_accumulate(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        algo = FedProto(fed, config=FedProtoConfig(local=FAST), seed=0)
+        assert algo.global_prototypes is None
+        algo.run(rounds=1)
+        assert algo.global_prototypes is not None
+        assert algo.global_prototypes.shape == (6, 16)
+
+    def test_communication_is_tiny(self, tiny_bundle):
+        """FedProto ships only prototypes: orders of magnitude below FedMD."""
+        from repro.baselines import FedMD, FedMDConfig
+
+        fed_p = make_tiny_federation(tiny_bundle, server_model=None)
+        FedProto(fed_p, config=FedProtoConfig(local=FAST), seed=0).run(rounds=1)
+
+        fed_m = make_tiny_federation(tiny_bundle, server_model=None)
+        FedMD(fed_m, config=FedMDConfig(local=FAST, digest=FAST), seed=0).run(rounds=1)
+
+        assert fed_p.channel.total_bytes < 0.5 * fed_m.channel.total_bytes
+
+    def test_heterogeneous_clients(self, tiny_bundle):
+        fed = make_tiny_federation(
+            tiny_bundle,
+            client_models=["mlp_small", "mlp_medium", "mlp_large"],
+            server_model=None,
+        )
+        algo = FedProto(fed, config=FedProtoConfig(local=FAST), seed=0)
+        history = algo.run(rounds=2)
+        assert len(history) == 2
+
+    def test_regulariser_pulls_toward_global_prototypes(self, tiny_bundle):
+        def mean_distance(weight):
+            fed = make_tiny_federation(tiny_bundle, server_model=None, seed=3)
+            algo = FedProto(
+                fed,
+                config=FedProtoConfig(
+                    local=TrainingConfig(epochs=3, batch_size=16),
+                    proto_weight=weight,
+                ),
+                seed=3,
+            )
+            algo.run(rounds=3)
+            dists = []
+            for client in fed.clients:
+                feats = client.model.extract_features(client.x_train)
+                targets = algo.global_prototypes[client.y_train]
+                ok = ~np.isnan(targets).any(axis=1)
+                dists.append(np.linalg.norm(feats[ok] - targets[ok], axis=1).mean())
+            return float(np.mean(dists))
+
+        assert mean_distance(5.0) < mean_distance(0.0)
+
+    def test_registry_integration(self, tiny_bundle):
+        from repro.algorithms import algorithm_supports, build_algorithm
+
+        assert algorithm_supports("fedproto", "heterogeneous")
+        assert not algorithm_supports("fedproto", "server_model")
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        algo = build_algorithm("fedproto", fed, epoch_scale=0.1, proto_weight=2.0)
+        assert algo.config.proto_weight == 2.0

@@ -1,0 +1,155 @@
+"""Tests for the KD-based baselines: FedMD, DS-FL, FedDF, FedET, NaiveKD."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DSFL,
+    DSFLConfig,
+    FedDF,
+    FedDFConfig,
+    FedET,
+    FedETConfig,
+    FedMD,
+    FedMDConfig,
+    NaiveKD,
+    NaiveKDConfig,
+)
+from repro.fl import TrainingConfig
+
+from ..conftest import make_tiny_federation
+
+FAST = TrainingConfig(epochs=1, batch_size=16)
+
+
+class TestFedMD:
+    def test_no_server_model_needed(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        algo = FedMD(fed, config=FedMDConfig(local=FAST, digest=FAST), seed=0)
+        history = algo.run(rounds=2)
+        assert np.isnan(history.final_server_acc)
+        assert history.final_client_acc > 0
+
+    def test_comm_is_logits_only(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        algo = FedMD(fed, config=FedMDConfig(local=FAST, digest=FAST), seed=0)
+        algo.run(rounds=1)
+        logit_bytes = len(tiny_bundle.public) * tiny_bundle.num_classes * 4
+        snap = fed.channel.snapshot()
+        assert snap.uplink == 3 * logit_bytes
+        assert snap.downlink == 3 * logit_bytes
+
+    def test_heterogeneous_supported(self, tiny_bundle):
+        fed = make_tiny_federation(
+            tiny_bundle, client_models=["mlp_small", "mlp_medium"], server_model=None
+        )
+        algo = FedMD(fed, config=FedMDConfig(local=FAST, digest=FAST), seed=0)
+        assert len(algo.run(rounds=1)) == 1
+
+
+class TestDSFL:
+    def test_runs(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        algo = DSFL(fed, config=DSFLConfig(local=FAST, digest=FAST), seed=0)
+        history = algo.run(rounds=2)
+        assert history.final_client_acc > 0
+
+    def test_era_temperature_configurable(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        algo = DSFL(
+            fed, config=DSFLConfig(local=FAST, digest=FAST, era_temperature=0.5), seed=0
+        )
+        assert len(algo.run(rounds=1)) == 1
+
+
+class TestFedDF:
+    def test_requires_homogeneous(self, tiny_bundle):
+        fed = make_tiny_federation(
+            tiny_bundle, client_models=["mlp_small", "mlp_medium"],
+            server_model="mlp_small",
+        )
+        with pytest.raises(ValueError):
+            FedDF(fed)
+
+    def test_distillation_moves_off_plain_average(self, tiny_bundle):
+        from repro.baselines import FedAvg, FedAvgConfig
+
+        fed_avg = make_tiny_federation(tiny_bundle)
+        FedAvg(fed_avg, config=FedAvgConfig(local=FAST), seed=0).run(rounds=1)
+
+        fed_df = make_tiny_federation(tiny_bundle)
+        FedDF(
+            fed_df, config=FedDFConfig(local=FAST, server=FAST), seed=0
+        ).run(rounds=1)
+
+        wa = fed_avg.server.model.state_dict()["classifier.weight"]
+        wd = fed_df.server.model.state_dict()["classifier.weight"]
+        assert np.abs(wa - wd).max() > 1e-9
+
+    def test_server_loss_reported(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle)
+        algo = FedDF(fed, config=FedDFConfig(local=FAST, server=FAST), seed=0)
+        history = algo.run(rounds=1)
+        assert "server_loss" in history.records[0].extras
+
+
+class TestFedET:
+    def test_requires_server_model(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        with pytest.raises(ValueError):
+            FedET(fed)
+
+    def test_uplink_is_model_weights(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        algo = FedET(
+            fed, config=FedETConfig(local=FAST, server=FAST, public=FAST), seed=0
+        )
+        algo.run(rounds=1)
+        expected = sum(c.model.num_parameters() * 4 for c in fed.clients)
+        assert fed.channel.snapshot().uplink == expected
+
+    def test_heterogeneous_clients(self, tiny_bundle):
+        fed = make_tiny_federation(
+            tiny_bundle,
+            client_models=["mlp_small", "mlp_medium", "mlp_large"],
+            server_model="mlp_xlarge",
+        )
+        algo = FedET(
+            fed, config=FedETConfig(local=FAST, server=FAST, public=FAST), seed=0
+        )
+        history = algo.run(rounds=2)
+        assert history.final_server_acc >= 0
+
+
+class TestNaiveKD:
+    def test_requires_server_model(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        with pytest.raises(ValueError):
+            NaiveKD(fed)
+
+    def test_distill_to_clients_toggle(self, tiny_bundle):
+        def downlink(flag):
+            fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+            algo = NaiveKD(
+                fed,
+                config=NaiveKDConfig(
+                    local=FAST, server=FAST, public=FAST, distill_to_clients=flag
+                ),
+                seed=0,
+            )
+            algo.run(rounds=1)
+            return fed.channel.snapshot().downlink
+
+        assert downlink(False) == 0
+        assert downlink(True) > 0
+
+    def test_learns_something(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        cfg = NaiveKDConfig(
+            local=TrainingConfig(epochs=3, batch_size=16),
+            server=TrainingConfig(epochs=4, batch_size=16),
+            public=FAST,
+        )
+        algo = NaiveKD(fed, config=cfg, seed=0)
+        history = algo.run(rounds=3)
+        assert history.best_server_acc > 1.0 / tiny_bundle.num_classes

@@ -1,0 +1,72 @@
+"""Tests for the algorithm registry and capability matrix."""
+
+import pytest
+
+from repro.algorithms import ALGORITHMS, algorithm_supports, build_algorithm
+from repro.core import FedPKD
+from repro.fl import TrainingConfig
+
+from ..conftest import make_tiny_federation
+
+
+class TestRegistry:
+    def test_all_names_buildable(self, tiny_bundle):
+        for name in ALGORITHMS:
+            server = None if name in ("fedmd", "dsfl") else "mlp_small"
+            fed = make_tiny_federation(tiny_bundle, server_model=server)
+            algo = build_algorithm(name, fed, seed=0, epoch_scale=0.1)
+            assert algo.name == name
+
+    def test_unknown_name(self, tiny_federation):
+        with pytest.raises(KeyError):
+            build_algorithm("fedsgd", tiny_federation)
+
+    def test_config_overrides(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        algo = build_algorithm("fedpkd", fed, select_ratio=0.4, delta=0.2)
+        assert isinstance(algo, FedPKD)
+        assert algo.config.select_ratio == 0.4
+        assert algo.config.delta == 0.2
+
+    def test_epoch_scale(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        algo = build_algorithm("fedpkd", fed, epoch_scale=0.2)
+        # paper defaults 15/10/40 scaled by 0.2 -> 3/2/8
+        assert algo.config.local.epochs == 3
+        assert algo.config.public.epochs == 2
+        assert algo.config.server.epochs == 8
+
+    def test_epoch_scale_floors_at_one(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        algo = build_algorithm("fedpkd", fed, epoch_scale=0.01)
+        assert algo.config.local.epochs == 1
+
+    def test_explicit_config_instance(self, tiny_bundle):
+        from repro.core import FedPKDConfig
+
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        cfg = FedPKDConfig(local=TrainingConfig(epochs=2))
+        algo = build_algorithm("fedpkd", fed, config=cfg)
+        assert algo.config.local.epochs == 2
+
+
+class TestCapabilities:
+    def test_server_model_support(self):
+        assert algorithm_supports("fedpkd", "server_model")
+        assert not algorithm_supports("fedmd", "server_model")
+        assert not algorithm_supports("dsfl", "server_model")
+
+    def test_heterogeneous_support(self):
+        assert algorithm_supports("fedpkd", "heterogeneous")
+        assert algorithm_supports("fedet", "heterogeneous")
+        assert not algorithm_supports("fedavg", "heterogeneous")
+        assert not algorithm_supports("feddf", "heterogeneous")
+
+    def test_client_metric_flags(self):
+        assert algorithm_supports("fedmd", "client_metric")
+        assert not algorithm_supports("feddf", "client_metric")
+        assert not algorithm_supports("fedet", "client_metric")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            algorithm_supports("zzz", "server_model")

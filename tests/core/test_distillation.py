@@ -1,0 +1,89 @@
+"""Tests for prototype-based ensemble distillation (Eqs. 11-13)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import prototype_ensemble_distill
+from repro.fl import TrainingConfig
+
+IMG = (3, 6, 6)
+
+
+def setup(seed=0, classes=3, n=40):
+    rng = np.random.default_rng(seed)
+    model = nn.build_model("mlp_small", classes, IMG, feature_dim=8, rng=seed)
+    x = rng.normal(size=(n, *IMG))
+    logits = rng.normal(size=(n, classes)) * 3
+    pseudo = logits.argmax(axis=1)
+    prototypes = rng.normal(size=(classes, 8))
+    return model, x, logits, pseudo, prototypes
+
+
+class TestPrototypeEnsembleDistill:
+    def test_runs_and_returns_finite_loss(self):
+        model, x, logits, pseudo, protos = setup()
+        loss = prototype_ensemble_distill(
+            model, x, logits, pseudo, protos, delta=0.5,
+            config=TrainingConfig(epochs=2), rng=np.random.default_rng(0),
+        )
+        assert np.isfinite(loss)
+
+    def test_student_learns_pseudo_labels(self):
+        model, x, logits, pseudo, protos = setup(n=60)
+        prototype_ensemble_distill(
+            model, x, logits, pseudo, protos, delta=0.9,
+            config=TrainingConfig(epochs=15), rng=np.random.default_rng(0),
+        )
+        assert (model.predict(x) == pseudo).mean() > 0.6
+
+    def test_delta_one_ignores_prototypes(self):
+        model, x, logits, pseudo, _ = setup(seed=1)
+        bad_protos = np.full((3, 8), np.nan)  # would blow up if used carelessly
+        loss = prototype_ensemble_distill(
+            model, x, logits, pseudo, bad_protos, delta=1.0,
+            config=TrainingConfig(epochs=1), rng=np.random.default_rng(0),
+        )
+        assert np.isfinite(loss)
+        assert np.isfinite(model.classifier.weight.data).all()
+
+    def test_none_prototypes_supported(self):
+        model, x, logits, pseudo, _ = setup(seed=2)
+        loss = prototype_ensemble_distill(
+            model, x, logits, pseudo, None, delta=0.5,
+            config=TrainingConfig(epochs=1), rng=np.random.default_rng(0),
+        )
+        assert np.isfinite(loss)
+
+    def test_small_delta_pulls_features_to_prototypes(self):
+        _, x, logits, pseudo, protos = setup(seed=3, n=60)
+
+        def mean_distance(delta):
+            model = nn.build_model("mlp_small", 3, IMG, feature_dim=8, rng=3)
+            prototype_ensemble_distill(
+                model, x, logits, pseudo, protos, delta=delta,
+                config=TrainingConfig(epochs=8), rng=np.random.default_rng(0),
+            )
+            feats = model.extract_features(x)
+            return float(np.linalg.norm(feats - protos[pseudo], axis=1).mean())
+
+        assert mean_distance(0.05) < mean_distance(1.0)
+
+    def test_invalid_delta(self):
+        model, x, logits, pseudo, protos = setup()
+        with pytest.raises(ValueError):
+            prototype_ensemble_distill(
+                model, x, logits, pseudo, protos, delta=1.5,
+                config=TrainingConfig(epochs=1), rng=np.random.default_rng(0),
+            )
+
+    def test_nan_prototype_rows_skipped(self):
+        model, x, logits, pseudo, protos = setup(seed=4)
+        protos = protos.copy()
+        protos[0] = np.nan
+        loss = prototype_ensemble_distill(
+            model, x, logits, pseudo, protos, delta=0.5,
+            config=TrainingConfig(epochs=1), rng=np.random.default_rng(0),
+        )
+        assert np.isfinite(loss)
+        assert np.isfinite(model.classifier.weight.data).all()

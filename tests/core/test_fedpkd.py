@@ -1,0 +1,181 @@
+"""Integration tests of the full FedPKD algorithm (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FedPKD, FedPKDConfig
+from repro.fl import TrainingConfig
+
+from ..conftest import make_tiny_federation
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        local=TrainingConfig(epochs=1, batch_size=16),
+        public=TrainingConfig(epochs=1, batch_size=16),
+        server=TrainingConfig(epochs=2, batch_size=16),
+    )
+    defaults.update(overrides)
+    return FedPKDConfig(**defaults)
+
+
+@pytest.fixture
+def fedpkd(tiny_bundle):
+    fed = make_tiny_federation(
+        tiny_bundle, num_clients=3, client_models="mlp_small", server_model="mlp_medium"
+    )
+    return FedPKD(fed, config=fast_config(), seed=0)
+
+
+class TestConfigValidation:
+    def test_bad_ratio(self):
+        with pytest.raises(ValueError):
+            FedPKDConfig(select_ratio=0.0)
+
+    def test_bad_delta(self):
+        with pytest.raises(ValueError):
+            FedPKDConfig(delta=2.0)
+
+    def test_bad_aggregation(self):
+        with pytest.raises(ValueError):
+            FedPKDConfig(aggregation="median")
+
+    def test_bad_filter_mode(self):
+        with pytest.raises(ValueError):
+            FedPKDConfig(filter_mode="entropy")
+
+    def test_requires_server_model(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        with pytest.raises(ValueError):
+            FedPKD(fed)
+
+
+class TestRound:
+    def test_round_populates_prototypes(self, fedpkd):
+        assert fedpkd.global_prototypes is None
+        fedpkd.run(rounds=1)
+        assert fedpkd.global_prototypes is not None
+        assert fedpkd.global_prototypes.shape == (6, 16)
+
+    def test_comm_both_directions(self, fedpkd):
+        fedpkd.run(rounds=1)
+        snap = fedpkd.channel.snapshot()
+        assert snap.uplink > 0 and snap.downlink > 0
+
+    def test_filtering_reduces_downlink_payload(self, tiny_bundle):
+        def downlink(select_ratio):
+            fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+            algo = FedPKD(fed, config=fast_config(select_ratio=select_ratio), seed=0)
+            algo.run(rounds=1)
+            return fed.channel.snapshot().downlink
+
+        assert downlink(0.3) < downlink(1.0)
+
+    def test_extras_reported(self, fedpkd):
+        history = fedpkd.run(rounds=1)
+        extras = history.records[0].extras
+        assert "server_loss" in extras
+        assert "num_selected" in extras
+        assert 0 < extras["num_selected"] <= 90
+        assert 0 < extras["proto_coverage"] <= 1.0
+
+    def test_select_ratio_bounds_selection(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        algo = FedPKD(fed, config=fast_config(select_ratio=0.5), seed=0)
+        history = algo.run(rounds=1)
+        n_public = len(tiny_bundle.public)
+        selected = history.records[0].extras["num_selected"]
+        # at most half (plus one guaranteed sample per pseudo-class)
+        assert selected <= 0.5 * n_public + tiny_bundle.num_classes
+
+    def test_accuracy_improves_over_rounds(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        cfg = fast_config(
+            local=TrainingConfig(epochs=3, batch_size=16),
+            server=TrainingConfig(epochs=5, batch_size=16),
+        )
+        algo = FedPKD(fed, config=cfg, seed=0)
+        history = algo.run(rounds=4)
+        chance = 1.0 / tiny_bundle.num_classes
+        assert history.best_server_acc > chance + 0.1
+        assert history.best_client_acc > chance + 0.1
+
+
+class TestAblationSwitches:
+    def test_no_filtering_uses_full_public_set(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        algo = FedPKD(fed, config=fast_config(use_filtering=False), seed=0)
+        history = algo.run(rounds=1)
+        assert history.records[0].extras["num_selected"] == len(tiny_bundle.public)
+
+    def test_random_filter_mode(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        algo = FedPKD(fed, config=fast_config(filter_mode="random"), seed=0)
+        history = algo.run(rounds=1)
+        assert np.isfinite(history.records[0].extras["num_selected"])
+
+    def test_equal_aggregation_mode(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        algo = FedPKD(fed, config=fast_config(aggregation="equal"), seed=0)
+        history = algo.run(rounds=1)
+        assert len(history) == 1
+
+    def test_without_server_prototype_loss(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        algo = FedPKD(fed, config=fast_config(server_prototype_loss=False), seed=0)
+        history = algo.run(rounds=1)
+        assert np.isfinite(history.records[0].extras["server_loss"])
+
+    def test_without_client_prototype_loss(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        algo = FedPKD(fed, config=fast_config(client_prototype_loss=False), seed=0)
+        algo.run(rounds=2)  # second round exercises the local phase w/o protos
+
+
+class TestHeterogeneousModels:
+    def test_mixed_architectures(self, tiny_bundle):
+        fed = make_tiny_federation(
+            tiny_bundle,
+            num_clients=3,
+            client_models=["mlp_small", "mlp_medium", "mlp_large"],
+            server_model="mlp_xlarge",
+        )
+        algo = FedPKD(fed, config=fast_config(), seed=0)
+        history = algo.run(rounds=2)
+        assert len(history) == 2
+        # prototypes from heterogeneous models still aggregate (shared dim)
+        assert algo.global_prototypes.shape == (6, 16)
+
+    def test_partial_participation_keeps_old_prototypes(self, tiny_bundle):
+        fed = make_tiny_federation(
+            tiny_bundle, num_clients=4, server_model="mlp_medium", dropout_prob=0.5,
+        )
+        algo = FedPKD(fed, config=fast_config(), seed=0)
+        algo.run(rounds=3)
+        # coverage never regresses to zero once seen
+        assert np.isfinite(algo.global_prototypes).any()
+
+
+class TestExtensions:
+    def test_entropy_aggregation_mode(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        algo = FedPKD(fed, config=fast_config(aggregation="entropy"), seed=0)
+        history = algo.run(rounds=1)
+        assert len(history) == 1
+
+    def test_filter_warmup_defers_filtering(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        algo = FedPKD(
+            fed,
+            config=fast_config(select_ratio=0.5, filter_warmup_rounds=1),
+            seed=0,
+        )
+        history = algo.run(rounds=2)
+        n_public = len(tiny_bundle.public)
+        first, second = (r.extras["num_selected"] for r in history.records)
+        assert first == n_public  # warmup round keeps everything
+        assert second < n_public  # filtering kicks in afterwards
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            FedPKDConfig(filter_warmup_rounds=-1)

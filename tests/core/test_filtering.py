@@ -1,0 +1,123 @@
+"""Tests for prototype-based data filtering (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import prototype_filter, random_filter
+
+
+def logits_for(labels, num_classes):
+    out = np.zeros((len(labels), num_classes))
+    out[np.arange(len(labels)), labels] = 5.0
+    return out
+
+
+class TestPrototypeFilter:
+    def test_keeps_closest_per_class(self):
+        # 4 samples of pseudo-class 0 at distances 0,1,2,3 from prototype
+        prototypes = np.zeros((2, 2))
+        feats = np.array([[0.0, 0], [1.0, 0], [2.0, 0], [3.0, 0]])
+        logits = logits_for([0, 0, 0, 0], 2)
+        result = prototype_filter(feats, logits, prototypes, select_ratio=0.5)
+        np.testing.assert_array_equal(result.selected, [0, 1])
+
+    def test_per_class_quotas(self):
+        prototypes = np.zeros((2, 1))
+        prototypes[1] = 10.0
+        feats = np.array([[0.0], [1.0], [10.0], [11.0]])
+        logits = logits_for([0, 0, 1, 1], 2)
+        result = prototype_filter(feats, logits, prototypes, select_ratio=0.5)
+        assert set(result.selected) == {0, 2}
+
+    def test_pseudo_labels_match_selection(self):
+        prototypes = np.zeros((3, 1))
+        feats = np.zeros((6, 1))
+        labels = [0, 1, 2, 0, 1, 2]
+        logits = logits_for(labels, 3)
+        result = prototype_filter(feats, logits, prototypes, select_ratio=1.0)
+        np.testing.assert_array_equal(result.pseudo_labels, np.array(labels)[result.selected])
+
+    def test_missing_prototype_keeps_class(self):
+        prototypes = np.full((2, 1), np.nan)
+        prototypes[0] = 0.0
+        feats = np.array([[0.0], [1.0], [5.0], [6.0]])
+        logits = logits_for([0, 0, 1, 1], 2)
+        result = prototype_filter(feats, logits, prototypes, select_ratio=0.5)
+        # class 0 filtered to 1 sample, class 1 (no prototype) fully kept
+        assert 2 in result.selected and 3 in result.selected
+        assert (result.selected < 2).sum() == 1
+
+    def test_at_least_one_per_class(self):
+        prototypes = np.zeros((1, 1))
+        feats = np.array([[0.0], [1.0]])
+        logits = logits_for([0, 0], 1)
+        result = prototype_filter(feats, logits, prototypes, select_ratio=0.01)
+        assert result.num_selected == 1
+
+    def test_full_ratio_keeps_everything(self):
+        prototypes = np.zeros((2, 1))
+        feats = np.random.default_rng(0).normal(size=(10, 1))
+        logits = np.random.default_rng(1).normal(size=(10, 2))
+        result = prototype_filter(feats, logits, prototypes, select_ratio=1.0)
+        assert result.num_selected == 10
+
+    def test_distances_reported_for_all(self):
+        prototypes = np.zeros((2, 1))
+        feats = np.ones((5, 1))
+        logits = logits_for([0, 1, 0, 1, 0], 2)
+        result = prototype_filter(feats, logits, prototypes, select_ratio=0.5)
+        assert result.distances.shape == (5,)
+        np.testing.assert_allclose(result.distances, np.ones(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prototype_filter(np.zeros((2, 1)), np.zeros((2, 2)), np.zeros((2, 1)), 0.0)
+        with pytest.raises(ValueError):
+            prototype_filter(np.zeros((2, 1)), np.zeros((3, 2)), np.zeros((2, 1)), 0.5)
+
+    def test_selected_sorted(self):
+        rng = np.random.default_rng(2)
+        prototypes = rng.normal(size=(3, 4))
+        feats = rng.normal(size=(30, 4))
+        logits = rng.normal(size=(30, 3))
+        result = prototype_filter(feats, logits, prototypes, select_ratio=0.6)
+        assert (np.diff(result.selected) > 0).all()
+
+
+class TestRandomFilter:
+    def test_count(self):
+        rng = np.random.default_rng(0)
+        result = random_filter(20, np.zeros((20, 3)), 0.5, rng)
+        assert result.num_selected == 10
+        assert len(np.unique(result.selected)) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_filter(10, np.zeros((10, 2)), 1.5, np.random.default_rng(0))
+
+
+@given(
+    n=st.integers(4, 60),
+    num_classes=st.integers(2, 5),
+    ratio=st.floats(0.1, 1.0),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_filter_respects_ratio_bounds(n, num_classes, ratio, seed):
+    """Selected count never exceeds the quota by more than one per class,
+    indices are unique, in range, and pseudo-labels align."""
+    rng = np.random.default_rng(seed)
+    feats = rng.normal(size=(n, 3))
+    logits = rng.normal(size=(n, num_classes))
+    prototypes = rng.normal(size=(num_classes, 3))
+    result = prototype_filter(feats, logits, prototypes, select_ratio=ratio)
+    assert len(np.unique(result.selected)) == result.num_selected
+    assert result.selected.min() >= 0 and result.selected.max() < n
+    # per-class: at most floor(ratio * class_size) but at least 1
+    pseudo_all = logits.argmax(axis=1)
+    for cls in np.unique(pseudo_all):
+        cls_total = (pseudo_all == cls).sum()
+        cls_kept = (result.pseudo_labels == cls).sum()
+        assert cls_kept <= max(1, int(np.floor(ratio * cls_total)))
+        assert cls_kept >= 1

@@ -1,0 +1,179 @@
+"""Faithfulness tests: the implementation computes the paper's equations.
+
+Each test evaluates one paper equation by hand with numpy and checks the
+library produces the same number.  Training-loss compositions are checked
+by running exactly one epoch with a full batch: ``train_with_loss`` returns
+the mean loss of that epoch, i.e. the loss of the initial weights, which we
+can recompute independently.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import weighted_average_states
+from repro.core import (
+    aggregate_prototypes,
+    prototype_distances,
+    prototype_ensemble_distill,
+    prototype_filter,
+    variance_weighted_aggregate,
+)
+from repro.fl import TrainingConfig, train_distill, train_supervised
+from repro.nn import Tensor
+
+IMG = (3, 6, 6)
+
+
+def softmax(z):
+    e = np.exp(z - z.max(axis=1, keepdims=True))
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def kl_mean(teacher_logits, student_logits):
+    p = softmax(teacher_logits)
+    q = softmax(student_logits)
+    return float((p * (np.log(p + 1e-12) - np.log(q + 1e-12))).sum(axis=1).mean())
+
+
+def ce_mean(logits, labels):
+    logp = np.log(softmax(logits) + 1e-12)
+    return float(-logp[np.arange(len(labels)), labels].mean())
+
+
+class TestEq1FedAvg:
+    def test_weighted_model_average(self):
+        """Eq. 1: w_G = sum(|D_c| w_c) / sum(|D_c|)."""
+        s1 = {"w": np.array([1.0])}
+        s2 = {"w": np.array([5.0])}
+        avg = weighted_average_states([s1, s2], [30, 10])
+        assert avg["w"][0] == pytest.approx((30 * 1 + 10 * 5) / 40)
+
+
+class TestEq6Eq7Aggregation:
+    def test_variance_weights_match_manual(self):
+        rng = np.random.default_rng(0)
+        l1, l2 = rng.normal(size=(4, 5)), rng.normal(size=(4, 5))
+        out = variance_weighted_aggregate([l1, l2])
+        v1, v2 = l1.var(axis=1), l2.var(axis=1)
+        beta1 = v1 / (v1 + v2)  # Eq. 7
+        beta2 = v2 / (v1 + v2)
+        expected = beta1[:, None] * l1 + beta2[:, None] * l2  # Eq. 6
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+
+class TestEq8Prototypes:
+    def test_data_weighted_mean(self):
+        """Eq. 8 (with the |C_j| typo corrected): data-size-weighted mean."""
+        p1 = np.full((2, 3), np.nan)
+        p1[0] = [1.0, 2.0, 3.0]
+        p2 = np.full((2, 3), np.nan)
+        p2[0] = [5.0, 6.0, 7.0]
+        agg = aggregate_prototypes([p1, p2], [np.array([3, 0]), np.array([1, 0])])
+        expected = (3 * p1[0] + 1 * p2[0]) / 4
+        np.testing.assert_allclose(agg[0], expected)
+
+
+class TestEq9Eq10Filtering:
+    def test_pseudo_label_is_argmax_and_distance_is_l2(self):
+        feats = np.array([[1.0, 0.0], [0.0, 2.0]])
+        logits = np.array([[5.0, 0.0], [0.0, 5.0]])  # pseudo labels 0, 1
+        protos = np.array([[0.0, 0.0], [0.0, 0.0]])
+        result = prototype_filter(feats, logits, protos, select_ratio=1.0)
+        np.testing.assert_array_equal(result.pseudo_labels, [0, 1])
+        d = prototype_distances(feats, protos, result.pseudo_labels)
+        np.testing.assert_allclose(d, [1.0, 2.0])  # Eq. 10
+
+
+class TestEq11ToEq13ServerLoss:
+    def test_loss_composition(self):
+        """F(w_G) = delta*(KL + CE) + (1-delta)*MSE(R(x), P^{y~})."""
+        rng = np.random.default_rng(1)
+        model = nn.build_model("mlp_small", 3, IMG, feature_dim=8, rng=1)
+        n = 10
+        x = rng.normal(size=(n, *IMG))
+        agg_logits = rng.normal(size=(n, 3)) * 2
+        pseudo = agg_logits.argmax(axis=1)
+        protos = rng.normal(size=(3, 8))
+        delta = 0.3
+
+        student_logits = model.predict_logits(x)
+        feats = model.extract_features(x)
+        expected = delta * (
+            kl_mean(agg_logits, student_logits) + ce_mean(student_logits, pseudo)
+        ) + (1 - delta) * float(((feats - protos[pseudo]) ** 2).mean())
+
+        got = prototype_ensemble_distill(
+            model, x, agg_logits, pseudo, protos, delta,
+            config=TrainingConfig(epochs=1, batch_size=n),
+            rng=np.random.default_rng(0),
+        )
+        assert got == pytest.approx(expected, rel=1e-6)
+
+
+class TestEq15ClientPublicLoss:
+    def test_loss_composition(self):
+        """gamma*KL(server || client) + (1-gamma)*CE(client, y~^s)."""
+        rng = np.random.default_rng(2)
+        model = nn.build_model("mlp_small", 3, IMG, feature_dim=8, rng=2)
+        n = 8
+        x = rng.normal(size=(n, *IMG))
+        server_logits = rng.normal(size=(n, 3)) * 2
+        pseudo = server_logits.argmax(axis=1)  # Eq. 14
+        gamma = 0.6
+
+        client_logits = model.predict_logits(x)
+        expected = gamma * kl_mean(server_logits, client_logits) + (
+            1 - gamma
+        ) * ce_mean(client_logits, pseudo)
+
+        got = train_distill(
+            model, x, server_logits,
+            TrainingConfig(epochs=1, batch_size=n),
+            np.random.default_rng(0),
+            kd_weight=gamma, pseudo_labels=pseudo,
+        )
+        assert got == pytest.approx(expected, rel=1e-6)
+
+
+class TestEq16ClientLocalLoss:
+    def test_loss_composition(self):
+        """CE(local) + epsilon * MSE(R(x), P^{y})."""
+        rng = np.random.default_rng(3)
+        model = nn.build_model("mlp_small", 3, IMG, feature_dim=8, rng=3)
+        n = 8
+        x = rng.normal(size=(n, *IMG))
+        y = rng.integers(0, 3, n)
+        protos = rng.normal(size=(3, 8))
+        epsilon = 0.4
+
+        logits = model.predict_logits(x)
+        feats = model.extract_features(x)
+        expected = ce_mean(logits, y) + epsilon * float(
+            ((feats - protos[y]) ** 2).mean()
+        )
+
+        got = train_supervised(
+            model, x, y,
+            TrainingConfig(epochs=1, batch_size=n),
+            np.random.default_rng(0),
+            prototypes=protos, prototype_weight=epsilon,
+        )
+        assert got == pytest.approx(expected, rel=1e-6)
+
+
+class TestEq5ClientPrototypes:
+    def test_prototype_is_class_feature_mean(self):
+        from repro.fl import FLClient
+
+        rng = np.random.default_rng(4)
+        model = nn.build_model("mlp_small", 3, IMG, feature_dim=8, rng=4)
+        x = rng.normal(size=(12, *IMG))
+        y = np.array([0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2])
+        client = FLClient(0, model, x, y, x[:2], y[:2], num_classes=3)
+        protos = client.compute_prototypes()
+        feats = model.extract_features(x)
+        for cls in range(3):
+            np.testing.assert_allclose(
+                protos[cls], feats[y == cls].mean(axis=0), atol=1e-12
+            )

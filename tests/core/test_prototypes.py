@@ -1,0 +1,111 @@
+"""Tests for prototype aggregation (Eq. 8) and distance utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    aggregate_prototypes,
+    merge_prototypes,
+    prototype_coverage,
+    prototype_distances,
+)
+
+
+def protos_for(values, num_classes=3, dim=2):
+    """Build a prototype matrix with given rows, NaN elsewhere."""
+    out = np.full((num_classes, dim), np.nan)
+    for cls, vec in values.items():
+        out[cls] = vec
+    return out
+
+
+class TestAggregate:
+    def test_weighted_by_counts(self):
+        p1 = protos_for({0: [0.0, 0.0]})
+        p2 = protos_for({0: [4.0, 4.0]})
+        c1 = np.array([3, 0, 0])
+        c2 = np.array([1, 0, 0])
+        agg = aggregate_prototypes([p1, p2], [c1, c2])
+        np.testing.assert_allclose(agg[0], [1.0, 1.0])  # (3*0 + 1*4)/4
+
+    def test_disjoint_classes_pass_through(self):
+        p1 = protos_for({0: [1.0, 1.0]})
+        p2 = protos_for({2: [5.0, 5.0]})
+        agg = aggregate_prototypes(
+            [p1, p2], [np.array([2, 0, 0]), np.array([0, 0, 2])]
+        )
+        np.testing.assert_allclose(agg[0], [1.0, 1.0])
+        np.testing.assert_allclose(agg[2], [5.0, 5.0])
+        assert np.isnan(agg[1]).all()
+
+    def test_paper_literal_divides_by_contributors(self):
+        p1 = protos_for({0: [2.0, 2.0]})
+        p2 = protos_for({0: [2.0, 2.0]})
+        counts = np.array([1, 0, 0])
+        plain = aggregate_prototypes([p1, p2], [counts, counts])
+        literal = aggregate_prototypes([p1, p2], [counts, counts], paper_literal=True)
+        np.testing.assert_allclose(plain[0], [2.0, 2.0])
+        np.testing.assert_allclose(literal[0], [1.0, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_prototypes([], [])
+        with pytest.raises(ValueError):
+            aggregate_prototypes([protos_for({})], [])
+
+    def test_zero_count_clients_ignored(self):
+        p1 = protos_for({0: [1.0, 1.0]})
+        p2 = protos_for({0: [99.0, 99.0]})
+        agg = aggregate_prototypes(
+            [p1, p2], [np.array([5, 0, 0]), np.array([0, 0, 0])]
+        )
+        np.testing.assert_allclose(agg[0], [1.0, 1.0])
+
+
+class TestCoverageAndMerge:
+    def test_coverage_mask(self):
+        protos = protos_for({0: [1, 1], 2: [2, 2]})
+        np.testing.assert_array_equal(prototype_coverage(protos), [True, False, True])
+
+    def test_merge_fills_missing(self):
+        new = protos_for({0: [1, 1]})
+        old = protos_for({0: [9, 9], 1: [2, 2]})
+        merged = merge_prototypes(new, old)
+        np.testing.assert_allclose(merged[0], [1, 1])  # new wins
+        np.testing.assert_allclose(merged[1], [2, 2])  # backfilled
+        assert np.isnan(merged[2]).all()
+
+    def test_merge_none_fallback(self):
+        new = protos_for({0: [1, 1]})
+        assert merge_prototypes(new, None) is new
+
+
+class TestDistances:
+    def test_l2(self):
+        protos = protos_for({0: [0.0, 0.0], 1: [3.0, 4.0]})
+        feats = np.array([[3.0, 4.0], [3.0, 4.0]])
+        d = prototype_distances(feats, protos, np.array([0, 1]))
+        np.testing.assert_allclose(d, [5.0, 0.0])
+
+    def test_missing_prototype_nan(self):
+        protos = protos_for({0: [0.0, 0.0]})
+        d = prototype_distances(np.ones((1, 2)), protos, np.array([2]))
+        assert np.isnan(d[0])
+
+
+@given(
+    counts1=st.integers(1, 50),
+    counts2=st.integers(1, 50),
+    v1=st.floats(-5, 5),
+    v2=st.floats(-5, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_aggregate_is_between_contributions(counts1, counts2, v1, v2):
+    p1 = protos_for({0: [v1, v1]})
+    p2 = protos_for({0: [v2, v2]})
+    agg = aggregate_prototypes(
+        [p1, p2], [np.array([counts1, 0, 0]), np.array([counts2, 0, 0])]
+    )
+    lo, hi = min(v1, v2) - 1e-9, max(v1, v2) + 1e-9
+    assert lo <= agg[0, 0] <= hi

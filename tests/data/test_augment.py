@@ -1,0 +1,118 @@
+"""Tests for batch augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AugmentPipeline,
+    gaussian_noise,
+    random_horizontal_flip,
+    random_shift,
+)
+
+
+def batch(n=6, c=2, h=5, w=5, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, c, h, w))
+
+
+class TestFlip:
+    def test_prob_one_flips_all(self):
+        x = batch()
+        out = random_horizontal_flip(x, np.random.default_rng(0), prob=1.0)
+        np.testing.assert_allclose(out, x[:, :, :, ::-1])
+
+    def test_prob_zero_identity(self):
+        x = batch()
+        out = random_horizontal_flip(x, np.random.default_rng(0), prob=0.0)
+        np.testing.assert_allclose(out, x)
+
+    def test_does_not_mutate_input(self):
+        x = batch()
+        orig = x.copy()
+        random_horizontal_flip(x, np.random.default_rng(0), prob=1.0)
+        np.testing.assert_allclose(x, orig)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(np.zeros((2, 3)), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            random_horizontal_flip(batch(), np.random.default_rng(0), prob=2.0)
+
+
+class TestShift:
+    def test_zero_shift_identity(self):
+        x = batch()
+        out = random_shift(x, np.random.default_rng(0), max_shift=0)
+        np.testing.assert_allclose(out, x)
+
+    def test_shape_preserved(self):
+        x = batch()
+        out = random_shift(x, np.random.default_rng(0), max_shift=2)
+        assert out.shape == x.shape
+
+    def test_content_is_shifted_window(self):
+        # single image of increasing values: a shift moves the sum of the
+        # interior but keeps all surviving values from the original
+        x = np.arange(25.0).reshape(1, 1, 5, 5)
+        out = random_shift(x, np.random.default_rng(3), max_shift=1)
+        original = set(x.reshape(-1).tolist()) | {0.0}
+        assert set(out.reshape(-1).tolist()) <= original
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_shift(batch(), np.random.default_rng(0), max_shift=-1)
+        with pytest.raises(ValueError):
+            random_shift(np.zeros((3, 3)), np.random.default_rng(0))
+
+
+class TestNoise:
+    def test_zero_std_identity(self):
+        x = batch()
+        np.testing.assert_allclose(gaussian_noise(x, np.random.default_rng(0), 0.0), x)
+
+    def test_noise_scale(self):
+        x = np.zeros((10, 1, 20, 20))
+        out = gaussian_noise(x, np.random.default_rng(0), std=0.5)
+        assert 0.4 < out.std() < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_noise(batch(), np.random.default_rng(0), std=-1.0)
+
+
+class TestPipeline:
+    def test_composes_in_order(self):
+        calls = []
+
+        def first(b, rng):
+            calls.append("first")
+            return b + 1
+
+        def second(b, rng):
+            calls.append("second")
+            return b * 2
+
+        pipeline = AugmentPipeline([first, second], seed=0)
+        out = pipeline(np.zeros((1, 1, 2, 2)))
+        assert calls == ["first", "second"]
+        np.testing.assert_allclose(out, np.full((1, 1, 2, 2), 2.0))
+
+    def test_deterministic_under_seed(self):
+        x = batch()
+        p1 = AugmentPipeline([random_horizontal_flip], seed=5)
+        p2 = AugmentPipeline([random_horizontal_flip], seed=5)
+        np.testing.assert_allclose(p1(x), p2(x))
+
+    def test_realistic_composition_keeps_statistics(self):
+        x = batch(n=64)
+        pipeline = AugmentPipeline(
+            [
+                lambda b, rng: random_shift(b, rng, max_shift=1),
+                random_horizontal_flip,
+                lambda b, rng: gaussian_noise(b, rng, std=0.01),
+            ],
+            seed=0,
+        )
+        out = pipeline(x)
+        assert out.shape == x.shape
+        assert abs(out.mean() - x.mean()) < 0.1

@@ -1,0 +1,110 @@
+"""Tests for the synthetic dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, SyntheticImageTask, make_task, synthetic_cifar10, synthetic_cifar100
+
+
+class TestDataset:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4), num_classes=2)
+
+    def test_subset(self):
+        ds = Dataset(np.arange(10).reshape(10, 1), np.arange(10) % 2, 2)
+        sub = ds.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.y, [0, 0, 0])
+
+    def test_class_counts(self):
+        ds = Dataset(np.zeros((4, 1)), np.array([0, 0, 1, 2]), num_classes=4)
+        np.testing.assert_array_equal(ds.class_counts(), [2, 1, 1, 0])
+
+    def test_image_shape(self):
+        ds = Dataset(np.zeros((2, 3, 4, 4)), np.zeros(2), 2)
+        assert ds.image_shape == (3, 4, 4)
+
+
+class TestSyntheticTask:
+    def test_determinism(self):
+        a = SyntheticImageTask(4, seed=3).sample(50, np.random.default_rng(1))
+        b = SyntheticImageTask(4, seed=3).sample(50, np.random.default_rng(1))
+        np.testing.assert_allclose(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_task_seeds_differ(self):
+        a = SyntheticImageTask(4, seed=3).sample(50, np.random.default_rng(1))
+        b = SyntheticImageTask(4, seed=4).sample(50, np.random.default_rng(1))
+        assert not np.allclose(a[0], b[0])
+
+    def test_labels_in_range(self):
+        x, y = SyntheticImageTask(6, seed=0).sample(200, np.random.default_rng(0))
+        assert y.min() >= 0 and y.max() < 6
+
+    def test_image_shape_and_bounds(self):
+        task = SyntheticImageTask(3, image_shape=(1, 5, 5), seed=0)
+        x, _ = task.sample(10, np.random.default_rng(0))
+        assert x.shape == (10, 1, 5, 5)
+        assert np.abs(x).max() <= 1.0  # tanh rendering
+
+    def test_label_noise_flips_labels(self):
+        clean = SyntheticImageTask(4, label_noise=0.0, seed=0)
+        noisy = SyntheticImageTask(4, label_noise=0.5, seed=0)
+        rng1, rng2 = np.random.default_rng(5), np.random.default_rng(5)
+        _, y_clean = clean.sample(500, rng1)
+        _, y_noisy = noisy.sample(500, rng2)
+        assert (y_clean != y_noisy).mean() > 0.2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SyntheticImageTask(1)
+        with pytest.raises(ValueError):
+            SyntheticImageTask(3, label_noise=1.0)
+
+    def test_classes_are_separable(self):
+        """A nearest-class-mean classifier must beat chance by a wide margin,
+        otherwise prototypes would be meaningless."""
+        task = SyntheticImageTask(4, seed=0, class_separation=1.5, noise_scale=1.0)
+        rng = np.random.default_rng(0)
+        x_train, y_train = task.sample(400, rng)
+        x_test, y_test = task.sample(200, rng)
+        flat_train = x_train.reshape(len(x_train), -1)
+        flat_test = x_test.reshape(len(x_test), -1)
+        means = np.stack([flat_train[y_train == c].mean(axis=0) for c in range(4)])
+        dists = ((flat_test[:, None, :] - means[None]) ** 2).sum(axis=2)
+        acc = (dists.argmin(axis=1) == y_test).mean()
+        assert acc > 0.5
+
+
+class TestBundles:
+    def test_bundle_shapes(self):
+        b = synthetic_cifar10(n_train=100, n_test=40, n_public=30, seed=0)
+        assert len(b.train) == 100
+        assert len(b.test) == 40
+        assert b.public.shape[0] == 30
+        assert b.public_true_labels.shape == (30,)
+        assert b.num_classes == 10
+
+    def test_cifar100_has_100_classes(self):
+        b = synthetic_cifar100(n_train=300, n_test=50, n_public=50, seed=0)
+        assert b.num_classes == 100
+        assert b.train.y.max() < 100
+
+    def test_splits_are_distinct_draws(self):
+        b = synthetic_cifar10(n_train=50, n_test=50, n_public=50, seed=0)
+        assert not np.allclose(b.train.x[:10], b.test.x[:10])
+
+    def test_make_task_unknown(self):
+        with pytest.raises(KeyError):
+            make_task("imagenet")
+
+    def test_make_task_overrides(self):
+        task = make_task("cifar10", seed=0, image_shape=(1, 4, 4))
+        assert task.image_shape == (1, 4, 4)
+
+    def test_bundle_determinism(self):
+        a = synthetic_cifar10(n_train=50, n_test=20, n_public=20, seed=9)
+        b = synthetic_cifar10(n_train=50, n_test=20, n_public=20, seed=9)
+        np.testing.assert_allclose(a.train.x, b.train.x)
+        np.testing.assert_array_equal(a.public_true_labels, b.public_true_labels)

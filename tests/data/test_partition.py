@@ -1,0 +1,173 @@
+"""Tests for IID / Dirichlet / shards partitioners, incl. property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    Dataset,
+    partition_by_classes,
+    partition_dirichlet,
+    partition_iid,
+    partition_shards,
+    partition_summary,
+    split_local_train_test,
+)
+
+
+def make_dataset(n=300, num_classes=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.normal(size=(n, 2)), rng.integers(0, num_classes, n), num_classes)
+
+
+def assert_valid_partition(dataset, parts, num_clients, require_disjoint=True):
+    assert len(parts) == num_clients
+    all_idx = np.concatenate(parts)
+    if require_disjoint:
+        assert len(np.unique(all_idx)) == len(all_idx), "parts overlap"
+    assert all_idx.min() >= 0 and all_idx.max() < len(dataset)
+    assert all(len(p) > 0 for p in parts), "empty client"
+
+
+class TestIID:
+    def test_covers_everything(self):
+        ds = make_dataset()
+        parts = partition_iid(ds, 5, seed=0)
+        assert_valid_partition(ds, parts, 5)
+        assert sum(len(p) for p in parts) == len(ds)
+
+    def test_roughly_balanced_classes(self):
+        ds = make_dataset(n=600)
+        parts = partition_iid(ds, 3, seed=0)
+        summary = partition_summary(ds, parts)
+        # every client should see every class
+        assert (summary > 0).all()
+
+    def test_determinism(self):
+        ds = make_dataset()
+        a = partition_iid(ds, 4, seed=5)
+        b = partition_iid(ds, 4, seed=5)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_too_many_clients(self):
+        with pytest.raises(ValueError):
+            partition_iid(make_dataset(n=3), 5)
+
+
+class TestDirichlet:
+    def test_valid(self):
+        ds = make_dataset()
+        parts = partition_dirichlet(ds, 6, alpha=0.3, seed=0)
+        assert_valid_partition(ds, parts, 6)
+
+    def test_alpha_controls_skew(self):
+        ds = make_dataset(n=1200, num_classes=6)
+
+        def skew(alpha):
+            parts = partition_dirichlet(ds, 6, alpha=alpha, seed=0)
+            summary = partition_summary(ds, parts).astype(float)
+            props = summary / summary.sum(axis=1, keepdims=True)
+            # mean per-client entropy of class distribution (low = skewed)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ent = -(props * np.log(props + 1e-12)).sum(axis=1)
+            return ent.mean()
+
+        assert skew(0.1) < skew(10.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            partition_dirichlet(make_dataset(), 3, alpha=0.0)
+
+    def test_every_client_nonempty_even_when_extreme(self):
+        ds = make_dataset(n=100)
+        parts = partition_dirichlet(ds, 10, alpha=0.05, seed=3)
+        assert all(len(p) >= 1 for p in parts)
+
+
+class TestShards:
+    def test_valid(self):
+        ds = make_dataset(n=600)
+        parts = partition_shards(ds, 5, classes_per_client=3, shard_size=10, seed=0)
+        assert_valid_partition(ds, parts, 5)
+
+    def test_class_constraint_mostly_respected(self):
+        ds = make_dataset(n=1200, num_classes=6)
+        parts = partition_shards(ds, 4, classes_per_client=2, shard_size=10, seed=0)
+        summary = partition_summary(ds, parts)
+        # each client's samples should be concentrated in <= 3 classes
+        # (2 chosen + possibly 1 donated to fix empties)
+        for row in summary:
+            assert (row > 0).sum() <= 3
+
+    def test_smaller_k_is_more_skewed(self):
+        ds = make_dataset(n=1200, num_classes=6)
+
+        def mean_classes(k):
+            parts = partition_shards(ds, 4, classes_per_client=k, shard_size=10, seed=0)
+            return (partition_summary(ds, parts) > 0).sum(axis=1).mean()
+
+        assert mean_classes(2) < mean_classes(6)
+
+    def test_invalid_k(self):
+        ds = make_dataset()
+        with pytest.raises(ValueError):
+            partition_shards(ds, 3, classes_per_client=0)
+        with pytest.raises(ValueError):
+            partition_shards(ds, 3, classes_per_client=99)
+
+
+class TestByClasses:
+    def test_exact_split(self):
+        ds = make_dataset(n=300, num_classes=6)
+        parts = partition_by_classes(ds, [[0, 1, 2], [3, 4, 5]], seed=0)
+        assert set(ds.y[parts[0]]) <= {0, 1, 2}
+        assert set(ds.y[parts[1]]) <= {3, 4, 5}
+        assert len(parts[0]) + len(parts[1]) == len(ds)
+
+
+class TestLocalSplit:
+    def test_fraction(self):
+        idx = np.arange(100)
+        train, test = split_local_train_test(idx, test_fraction=0.2, seed=0)
+        assert len(test) == 20 and len(train) == 80
+        assert set(train) | set(test) == set(idx)
+        assert not set(train) & set(test)
+
+    def test_single_sample(self):
+        train, test = split_local_train_test(np.array([7]), test_fraction=0.5, seed=0)
+        assert len(train) == 1 and len(test) == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            split_local_train_test(np.arange(10), test_fraction=0.0)
+
+
+@given(
+    n=st.integers(40, 200),
+    num_classes=st.integers(2, 8),
+    num_clients=st.integers(2, 8),
+    alpha=st.floats(0.05, 5.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_dirichlet_partition_properties(n, num_classes, num_clients, alpha):
+    ds = make_dataset(n=n, num_classes=num_classes, seed=1)
+    parts = partition_dirichlet(ds, num_clients, alpha=alpha, seed=2)
+    all_idx = np.concatenate(parts)
+    assert len(np.unique(all_idx)) == len(all_idx)
+    assert len(all_idx) == n
+    assert all(len(p) >= 1 for p in parts)
+
+
+@given(
+    n=st.integers(60, 300),
+    num_clients=st.integers(2, 6),
+    k=st.integers(1, 4),
+)
+@settings(max_examples=25, deadline=None)
+def test_shards_partition_properties(n, num_clients, k):
+    ds = make_dataset(n=n, num_classes=4, seed=1)
+    parts = partition_shards(ds, num_clients, classes_per_client=k, shard_size=5, seed=2)
+    all_idx = np.concatenate(parts)
+    assert len(np.unique(all_idx)) == len(all_idx)
+    assert all(len(p) >= 1 for p in parts)

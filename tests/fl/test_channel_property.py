@@ -1,0 +1,51 @@
+"""Property tests for communication accounting: the ledger is exact."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.fl import CommChannel
+from repro.nn import payload_num_bytes
+
+PAYLOAD_SIZES = st.lists(st.integers(0, 500), min_size=1, max_size=20)
+
+
+@given(sizes=PAYLOAD_SIZES)
+@settings(max_examples=40, deadline=None)
+def test_uplink_total_is_sum_of_payloads(sizes):
+    ch = CommChannel()
+    expected = 0
+    for i, n in enumerate(sizes):
+        payload = np.zeros(n)
+        ch.upload(i % 3, payload)
+        expected += payload_num_bytes(payload)
+    assert ch.snapshot().uplink == expected
+    assert ch.snapshot().downlink == 0
+
+
+@given(sizes=PAYLOAD_SIZES)
+@settings(max_examples=40, deadline=None)
+def test_per_client_totals_sum_to_global(sizes):
+    ch = CommChannel()
+    for i, n in enumerate(sizes):
+        if i % 2:
+            ch.upload(i % 4, np.zeros(n))
+        else:
+            ch.download(i % 4, np.zeros(n))
+    per_client = sum(ch.client_bytes(c) for c in range(4))
+    assert per_client == ch.total_bytes
+
+
+@given(
+    sizes=PAYLOAD_SIZES,
+    marks=st.lists(st.integers(0, 19), min_size=1, max_size=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_round_marks_are_monotone(sizes, marks):
+    ch = CommChannel()
+    mark_points = sorted(set(m % len(sizes) for m in marks))
+    for i, n in enumerate(sizes):
+        ch.upload(0, np.zeros(n))
+        if i in mark_points:
+            ch.mark_round()
+    totals = [m.total for m in ch.round_marks]
+    assert totals == sorted(totals)

@@ -1,0 +1,94 @@
+"""Tests for checkpoint save/resume."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import build_algorithm
+from repro.core import FedPKD
+from repro.fl.checkpoint import load_checkpoint, save_checkpoint
+
+from ..conftest import make_tiny_federation
+
+
+def make_algo(bundle, seed=0):
+    fed = make_tiny_federation(bundle, server_model="mlp_medium", seed=seed)
+    return build_algorithm("fedpkd", fed, seed=seed, epoch_scale=0.1)
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_weights_and_round(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle)
+        algo.run(rounds=2)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+
+        fresh = make_algo(tiny_bundle, seed=0)
+        assert fresh.round_index == 0
+        restored_round = load_checkpoint(fresh, path)
+        assert restored_round == 2
+        assert fresh.round_index == 2
+
+        np.testing.assert_allclose(
+            fresh.server.model.classifier.weight.data,
+            algo.server.model.classifier.weight.data,
+            atol=1e-6,
+        )
+        for a, b in zip(fresh.clients, algo.clients):
+            np.testing.assert_allclose(
+                a.model.classifier.weight.data,
+                b.model.classifier.weight.data,
+                atol=1e-6,
+            )
+
+    def test_algorithm_state_restored(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle)
+        algo.run(rounds=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+
+        fresh = make_algo(tiny_bundle, seed=0)
+        load_checkpoint(fresh, path)
+        assert fresh.global_prototypes is not None
+        finite = ~np.isnan(algo.global_prototypes)
+        np.testing.assert_allclose(
+            fresh.global_prototypes[finite], algo.global_prototypes[finite], atol=1e-6
+        )
+
+    def test_resumed_run_continues(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle)
+        history = algo.run(rounds=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+
+        fresh = make_algo(tiny_bundle, seed=0)
+        load_checkpoint(fresh, path)
+        resumed = fresh.run(rounds=1)
+        assert resumed.records[-1].round_index == 2
+
+    def test_client_count_mismatch_rejected(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+
+        fed = make_tiny_federation(
+            tiny_bundle, num_clients=4, server_model="mlp_medium"
+        )
+        other = build_algorithm("fedpkd", fed, epoch_scale=0.1)
+        with pytest.raises(ValueError):
+            load_checkpoint(other, path)
+
+    def test_missing_file(self, tiny_bundle):
+        algo = make_algo(tiny_bundle)
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(algo, "/nonexistent/ckpt.npz")
+
+    def test_no_server_model_algorithms(self, tiny_bundle, tmp_path):
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        algo = build_algorithm("fedmd", fed, epoch_scale=0.1)
+        algo.run(rounds=1)
+        path = str(tmp_path / "fedmd.npz")
+        save_checkpoint(algo, path)
+
+        fresh_fed = make_tiny_federation(tiny_bundle, server_model=None)
+        fresh = build_algorithm("fedmd", fresh_fed, epoch_scale=0.1)
+        assert load_checkpoint(fresh, path) == 1

@@ -1,0 +1,136 @@
+"""Tests for lossy payload compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.fl.compression import SCHEMES, dequantize, quantize, roundtrip
+from repro.nn import payload_num_bytes
+
+
+class TestFloat32:
+    def test_lossless_at_float32(self):
+        arr = np.random.default_rng(0).normal(size=(5, 4)).astype(np.float32)
+        restored = dequantize(quantize(arr, "float32"))
+        np.testing.assert_array_equal(restored, arr.astype(np.float64))
+
+    def test_bytes(self):
+        qt = quantize(np.zeros((10, 10)), "float32")
+        assert qt.num_bytes == 400
+
+
+class TestFloat16:
+    def test_halves_bytes(self):
+        qt = quantize(np.zeros((10, 10)), "float16")
+        assert qt.num_bytes == 200
+
+    def test_small_error(self):
+        arr = np.random.default_rng(1).normal(size=(20, 10))
+        restored = dequantize(quantize(arr, "float16"))
+        assert np.abs(restored - arr).max() < 1e-2
+
+
+class TestInt8:
+    def test_quarter_bytes_plus_meta(self):
+        qt = quantize(np.random.default_rng(2).normal(size=(10, 10)), "int8")
+        # 100 bytes of data + 10 rows * (scale + zero) * 4 bytes
+        assert qt.num_bytes == 100 + 10 * 8
+
+    def test_bounded_error(self):
+        arr = np.random.default_rng(3).normal(size=(50, 10)) * 5
+        restored = dequantize(quantize(arr, "int8"))
+        # max error is half a quantisation step per row
+        steps = (arr.max(axis=1) - arr.min(axis=1)) / 255.0
+        assert (np.abs(restored - arr).max(axis=1) <= steps + 1e-9).all()
+
+    def test_argmax_usually_preserved(self):
+        """Pseudo-labels (argmax) survive int8 quantisation for peaked logits."""
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=(200, 10))
+        logits[np.arange(200), rng.integers(0, 10, 200)] += 3.0
+        restored = dequantize(quantize(logits, "int8"))
+        agreement = (restored.argmax(axis=1) == logits.argmax(axis=1)).mean()
+        assert agreement == 1.0
+
+    def test_constant_rows_survive(self):
+        arr = np.ones((3, 5)) * 7.0
+        restored = dequantize(quantize(arr, "int8"))
+        np.testing.assert_allclose(restored, arr, atol=1e-6)
+
+    def test_1d_array(self):
+        arr = np.linspace(-2, 2, 17)
+        restored = dequantize(quantize(arr, "int8"))
+        assert restored.shape == arr.shape
+        assert np.abs(restored - arr).max() < 0.02
+
+
+class TestPlumbing:
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros(3), "int4")
+
+    def test_roundtrip_returns_both(self):
+        arr = np.random.default_rng(5).normal(size=(4, 3))
+        received, wire = roundtrip(arr, "int8")
+        assert received.shape == arr.shape
+        assert wire.num_bytes < arr.size * 4
+
+    def test_payload_accounting_uses_wire_size(self):
+        arr = np.zeros((10, 10))
+        qt = quantize(arr, "int8")
+        assert payload_num_bytes({"logits": qt}) == qt.num_bytes
+        assert payload_num_bytes(qt) < payload_num_bytes(arr)
+
+
+@given(
+    arr=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 8), st.integers(2, 8)),
+        elements=st.floats(min_value=-50, max_value=50, allow_nan=False),
+    ),
+    scheme=st.sampled_from(SCHEMES),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_error_bounded_by_scheme(arr, scheme):
+    restored = dequantize(quantize(arr, scheme))
+    assert restored.shape == arr.shape
+    span = arr.max() - arr.min()
+    # int8 stores its affine params as float32, adding representation error
+    float32_err = 1e-6 * max(1.0, np.abs(arr).max())
+    tolerance = {"float32": float32_err, "float16": 0.05 * max(1.0, np.abs(arr).max()),
+                 "int8": span / 255.0 + float32_err}[scheme]
+    assert np.abs(restored - arr).max() <= tolerance
+
+
+class TestFedPKDIntegration:
+    def test_int8_reduces_traffic_and_still_learns(self, tiny_bundle):
+        from repro.core import FedPKD, FedPKDConfig
+        from repro.fl import TrainingConfig
+
+        from ..conftest import make_tiny_federation
+
+        def run(scheme):
+            fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+            cfg = FedPKDConfig(
+                local=TrainingConfig(epochs=2, batch_size=16),
+                public=TrainingConfig(epochs=1, batch_size=16),
+                server=TrainingConfig(epochs=3, batch_size=16),
+                logit_compression=scheme,
+            )
+            algo = FedPKD(fed, config=cfg, seed=0)
+            history = algo.run(rounds=2)
+            return history.best_server_acc, fed.channel.total_bytes
+
+        acc32, bytes32 = run("float32")
+        acc8, bytes8 = run("int8")
+        # logits shrink 4x; prototypes/indices stay float32, so at this tiny
+        # public-set size the overall saving is smaller but still strict
+        assert bytes8 < 0.75 * bytes32
+        assert acc8 > 1.0 / tiny_bundle.num_classes  # still beats chance
+
+    def test_bad_scheme_rejected(self):
+        from repro.core import FedPKDConfig
+
+        with pytest.raises(ValueError):
+            FedPKDConfig(logit_compression="int2")

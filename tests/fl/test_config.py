@@ -1,0 +1,50 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.fl import FederationConfig, TrainingConfig
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        cfg = TrainingConfig()
+        assert cfg.optimizer == "adam"
+
+    def test_negative_epochs(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=-1)
+
+    def test_bad_batch(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+
+    def test_bad_optimizer(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(optimizer="lbfgs")
+
+
+class TestFederationConfig:
+    def test_defaults(self):
+        cfg = FederationConfig()
+        assert cfg.client_model_names() == ["resnet20"] * cfg.num_clients
+
+    def test_heterogeneous_cycling(self):
+        cfg = FederationConfig(num_clients=5, client_models=["a", "b"])
+        assert cfg.client_model_names() == ["a", "b", "a", "b", "a"]
+
+    def test_empty_model_list(self):
+        cfg = FederationConfig(client_models=[])
+        with pytest.raises(ValueError):
+            cfg.client_model_names()
+
+    def test_bad_partition_kind(self):
+        with pytest.raises(ValueError):
+            FederationConfig(partition=("zipf", {}))
+
+    def test_bad_num_clients(self):
+        with pytest.raises(ValueError):
+            FederationConfig(num_clients=0)
+
+    def test_bad_dropout(self):
+        with pytest.raises(ValueError):
+            FederationConfig(dropout_prob=1.0)

@@ -1,0 +1,89 @@
+"""Tests for RoundRecord / RunHistory metrics."""
+
+import math
+
+import pytest
+
+from repro.fl import RoundRecord, RunHistory
+
+MB = 1024 * 1024
+
+
+def record(i, s_acc, c_accs, up=MB, down=MB):
+    return RoundRecord(
+        round_index=i,
+        server_acc=s_acc,
+        client_accs=c_accs,
+        comm_uplink_bytes=up,
+        comm_downlink_bytes=down,
+    )
+
+
+class TestRoundRecord:
+    def test_mean_client_acc(self):
+        assert record(1, 0.5, [0.2, 0.4]).mean_client_acc == pytest.approx(0.3)
+
+    def test_empty_client_accs_nan(self):
+        assert math.isnan(record(1, 0.5, []).mean_client_acc)
+
+    def test_comm_mb(self):
+        assert record(1, 0.5, [0.1], up=MB, down=MB).comm_total_mb == pytest.approx(2.0)
+
+
+class TestRunHistory:
+    def make_history(self):
+        h = RunHistory("algo", dataset="ds")
+        h.append(record(1, 0.2, [0.1], up=1 * MB, down=0))
+        h.append(record(2, 0.5, [0.3], up=2 * MB, down=0))
+        h.append(record(3, 0.4, [0.6], up=3 * MB, down=0))
+        return h
+
+    def test_final_and_best(self):
+        h = self.make_history()
+        assert h.final_server_acc == 0.4
+        assert h.best_server_acc == 0.5
+        assert h.final_client_acc == 0.6
+        assert h.best_client_acc == 0.6
+
+    def test_empty_history_nan(self):
+        h = RunHistory("algo")
+        assert math.isnan(h.final_server_acc)
+        assert math.isnan(h.best_server_acc)
+
+    def test_curves(self):
+        h = self.make_history()
+        assert h.server_acc_curve() == [0.2, 0.5, 0.4]
+        assert h.comm_curve_mb() == [1.0, 2.0, 3.0]
+
+    def test_comm_to_reach(self):
+        h = self.make_history()
+        assert h.comm_to_reach(0.5, metric="server") == pytest.approx(2.0)
+        assert h.comm_to_reach(0.6, metric="client") == pytest.approx(3.0)
+        assert h.comm_to_reach(0.99) is None
+
+    def test_rounds_to_reach(self):
+        h = self.make_history()
+        assert h.rounds_to_reach(0.5) == 2
+        assert h.rounds_to_reach(0.9) is None
+
+    def test_nan_server_acc_skipped(self):
+        h = RunHistory("fedmd")
+        h.append(record(1, float("nan"), [0.9]))
+        assert h.comm_to_reach(0.5, metric="server") is None
+        assert h.comm_to_reach(0.5, metric="client") is not None
+        assert math.isnan(h.best_server_acc) or h.best_server_acc is None
+
+    def test_dict_roundtrip(self):
+        h = self.make_history()
+        restored = RunHistory.from_dict(h.to_dict())
+        assert restored.algorithm == "algo"
+        assert restored.dataset == "ds"
+        assert len(restored) == 3
+        assert restored.best_server_acc == 0.5
+
+    def test_json_serialises(self):
+        payload = self.make_history().to_json()
+        assert '"algorithm": "algo"' in payload
+
+    def test_iteration(self):
+        assert [r.round_index for r in self.make_history()] == [1, 2, 3]

@@ -1,0 +1,137 @@
+"""Tests for the device-heterogeneity timing model."""
+
+import numpy as np
+import pytest
+
+from repro.fl.timing import (
+    DEVICE_CLASSES,
+    DeviceProfile,
+    RoundTiming,
+    TimingModel,
+    estimate_training_steps,
+)
+
+
+class TestDeviceProfile:
+    def test_classes_ordered_by_compute(self):
+        rates = [DEVICE_CLASSES[n].compute_rate for n in ("iot", "mobile", "laptop", "edge")]
+        assert rates == sorted(rates)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("bad", compute_rate=0, uplink_bps=1, downlink_bps=1)
+
+
+class TestEstimateSteps:
+    def test_exact_division(self):
+        assert estimate_training_steps(100, epochs=2, batch_size=10) == 20
+
+    def test_ceiling(self):
+        assert estimate_training_steps(101, epochs=1, batch_size=10) == 11
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            estimate_training_steps(10, 1, 0)
+
+
+class TestTimingModel:
+    def make_model(self):
+        return TimingModel(
+            [DEVICE_CLASSES["iot"], DEVICE_CLASSES["edge"]],
+            server_compute_rate=100e6,
+        )
+
+    def test_training_time_scales_with_work(self):
+        tm = self.make_model()
+        tm.record_training(0, parameter_steps=2e6)  # iot: 2e6/2e6 = 1s
+        tm.record_training(1, parameter_steps=2e6)  # edge: 2e6/60e6
+        timing = tm.close_round()
+        assert timing.per_client_compute[0] == pytest.approx(1.0)
+        assert timing.per_client_compute[1] == pytest.approx(2e6 / 60e6)
+
+    def test_transfer_times(self):
+        tm = self.make_model()
+        tm.record_upload(0, 250_000)  # iot uplink 0.25e6 B/s -> 1s
+        tm.record_download(0, 1_000_000)  # iot downlink 1e6 B/s -> 1s
+        timing = tm.close_round()
+        assert timing.per_client_comm[0] == pytest.approx(2.0)
+
+    def test_round_duration_is_slowest_plus_server(self):
+        tm = self.make_model()
+        tm.record_training(0, 2e6)  # 1s on iot
+        tm.record_training(1, 6e6)  # 0.1s on edge
+        tm.record_server_training(100e6)  # 1s on server
+        timing = tm.close_round()
+        assert timing.slowest_client == 0
+        assert timing.round_duration == pytest.approx(2.0)
+
+    def test_round_profile_cycling(self):
+        tm = self.make_model()
+        assert tm.profile(0).name == "iot"
+        assert tm.profile(1).name == "edge"
+        assert tm.profile(2).name == "iot"  # cycles
+
+    def test_close_round_resets(self):
+        tm = self.make_model()
+        tm.record_training(0, 2e6)
+        tm.close_round()
+        second = tm.close_round()
+        assert second.per_client_compute == {}
+        assert second.round_duration == 0.0
+        assert len(tm.round_history) == 2
+
+    def test_total_time_accumulates(self):
+        tm = self.make_model()
+        tm.record_training(0, 2e6)
+        tm.close_round()
+        tm.record_training(0, 4e6)
+        tm.close_round()
+        assert tm.total_time == pytest.approx(1.0 + 2.0)
+
+    def test_straggler_gap_balanced_vs_skewed(self):
+        balanced = self.make_model()
+        balanced.record_training(0, 2e6)   # 1s
+        balanced.record_training(1, 60e6)  # 1s
+        balanced.close_round()
+        assert balanced.straggler_gap() == pytest.approx(1.0)
+
+        skewed = self.make_model()
+        skewed.record_training(0, 20e6)  # 10s on iot
+        skewed.record_training(1, 60e6)  # 1s on edge
+        skewed.close_round()
+        # slowest / median of [1, 10] = 10 / 5.5
+        assert skewed.straggler_gap() == pytest.approx(10.0 / 5.5)
+        assert skewed.straggler_gap() > balanced.straggler_gap()
+
+    def test_empty_round_gap_is_one(self):
+        tm = self.make_model()
+        tm.close_round()
+        assert tm.straggler_gap() == 1.0
+
+    def test_invalid_server_rate(self):
+        with pytest.raises(ValueError):
+            TimingModel([DEVICE_CLASSES["iot"]], server_compute_rate=0)
+
+
+class TestHeterogeneousModelAssignment:
+    def test_small_models_on_slow_devices_shrink_straggler_gap(self):
+        """The paper's system-heterogeneity argument, quantified: giving the
+        weak device a proportionally smaller model balances round time."""
+        profiles = [DEVICE_CLASSES["iot"], DEVICE_CLASSES["edge"]]
+        steps = 100  # same number of SGD steps everywhere
+
+        homogeneous = TimingModel(profiles)
+        for cid in (0, 1):
+            homogeneous.record_training(cid, parameter_steps=70_000 * steps)
+        homogeneous.close_round()
+
+        heterogeneous = TimingModel(profiles)
+        heterogeneous.record_training(0, parameter_steps=15_000 * steps)  # small model
+        heterogeneous.record_training(1, parameter_steps=70_000 * steps)  # big model
+        heterogeneous.close_round()
+
+        assert heterogeneous.straggler_gap() < homogeneous.straggler_gap()
+        assert (
+            heterogeneous.round_history[0].round_duration
+            < homogeneous.round_history[0].round_duration
+        )

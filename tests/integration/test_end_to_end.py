@@ -1,0 +1,140 @@
+"""End-to-end integration tests across the whole stack.
+
+These cover cross-module behaviour the unit tests can't: all algorithms
+learning on the same federation, fairness of the shared bundle, failure
+injection during full runs, and reproducibility of complete runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ALGORITHMS, algorithm_supports, build_algorithm
+from repro.data import SyntheticImageTask
+from repro.fl import FederationConfig, build_federation
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    task = SyntheticImageTask(
+        num_classes=5,
+        image_shape=(3, 6, 6),
+        latent_dim=8,
+        class_separation=1.2,
+        noise_scale=1.0,
+        seed=21,
+        name="e2e",
+    )
+    return task.make_bundle(n_train=500, n_test=200, n_public=120, seed=22)
+
+
+def build_fed(bundle, name, seed=0, **kwargs):
+    server = None if not algorithm_supports(name, "server_model") else kwargs.pop(
+        "server_model", "mlp_medium"
+    )
+    if name in ("fedavg", "fedprox", "feddf"):
+        server = kwargs.pop("client_models", "mlp_small")
+        kwargs["client_models"] = server
+    config = FederationConfig(
+        num_clients=kwargs.pop("num_clients", 4),
+        partition=kwargs.pop("partition", ("dirichlet", {"alpha": 0.5})),
+        client_models=kwargs.pop("client_models", "mlp_small"),
+        server_model=server,
+        feature_dim=16,
+        seed=seed,
+        **kwargs,
+    )
+    return build_federation(bundle, config)
+
+
+class TestAllAlgorithmsLearn:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_beats_chance_after_training(self, bundle, name):
+        fed = build_fed(bundle, name)
+        algo = build_algorithm(name, fed, seed=0, epoch_scale=0.3)
+        history = algo.run(rounds=3)
+        chance = 1.0 / bundle.num_classes
+        assert history.best_client_acc > chance, f"{name} clients never beat chance"
+        if algorithm_supports(name, "server_model"):
+            assert history.best_server_acc > chance, f"{name} server never beat chance"
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_communication_recorded(self, bundle, name):
+        fed = build_fed(bundle, name)
+        algo = build_algorithm(name, fed, seed=0, epoch_scale=0.1)
+        history = algo.run(rounds=1)
+        assert history.records[-1].comm_uplink_bytes > 0
+
+
+class TestHeterogeneousEndToEnd:
+    @pytest.mark.parametrize("name", ["fedpkd", "fedmd", "dsfl", "fedet"])
+    def test_hetero_architectures(self, bundle, name):
+        fed = build_fed(
+            bundle,
+            name,
+            client_models=["mlp_small", "mlp_medium", "mlp_large"],
+        )
+        algo = build_algorithm(name, fed, seed=0, epoch_scale=0.15)
+        history = algo.run(rounds=2)
+        assert len(history) == 2
+
+
+class TestFailureInjection:
+    @pytest.mark.parametrize("name", ["fedpkd", "fedavg", "fedmd"])
+    def test_survives_client_dropout(self, bundle, name):
+        fed = build_fed(bundle, name, dropout_prob=0.5, num_clients=5)
+        algo = build_algorithm(name, fed, seed=3, epoch_scale=0.1)
+        history = algo.run(rounds=4)
+        assert len(history) == 4
+        assert np.isfinite(history.final_client_acc)
+
+
+class TestReproducibility:
+    def test_full_run_is_deterministic(self, bundle):
+        def run_once():
+            fed = build_fed(bundle, "fedpkd", seed=7)
+            algo = build_algorithm("fedpkd", fed, seed=7, epoch_scale=0.1)
+            history = algo.run(rounds=2)
+            return (
+                history.server_acc_curve(),
+                history.client_acc_curve(),
+                fed.channel.total_bytes,
+            )
+
+        first = run_once()
+        second = run_once()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+        assert first[2] == second[2]
+
+    def test_different_seeds_differ(self, bundle):
+        def run_once(seed):
+            fed = build_fed(bundle, "fedpkd", seed=seed)
+            algo = build_algorithm("fedpkd", fed, seed=seed, epoch_scale=0.1)
+            return algo.run(rounds=1).final_server_acc
+
+        # different seed -> different partitions/weights; accuracy may tie,
+        # so compare the underlying model weights instead
+        fed_a = build_fed(bundle, "fedpkd", seed=1)
+        fed_b = build_fed(bundle, "fedpkd", seed=2)
+        wa = fed_a.server.model.classifier.weight.data
+        wb = fed_b.server.model.classifier.weight.data
+        assert not np.allclose(wa, wb)
+
+
+class TestFedPKDBeatsNaiveKD:
+    def test_fedpkd_at_least_matches_naive_kd_under_skew(self, bundle):
+        """The paper's central claim, at integration-test scale: FedPKD's
+        server should do at least as well as the naive KD pipeline under a
+        skewed partition, given the same budget."""
+        partition = ("dirichlet", {"alpha": 0.15})
+        fed_pkd = build_fed(bundle, "fedpkd", partition=partition, seed=5)
+        pkd = build_algorithm("fedpkd", fed_pkd, seed=5, epoch_scale=0.3)
+        pkd_hist = pkd.run(rounds=3)
+
+        fed_kd = build_fed(bundle, "naive_kd", partition=partition, seed=5)
+        kd = build_algorithm("naive_kd", fed_kd, seed=5, epoch_scale=0.3)
+        kd_hist = kd.run(rounds=3)
+
+        assert pkd_hist.best_server_acc >= kd_hist.best_server_acc - 0.05

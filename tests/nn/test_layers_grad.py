@@ -1,0 +1,130 @@
+"""Gradient checks through composite layers (BatchNorm, Conv, full models).
+
+These catch chain-rule mistakes that per-op tests cannot: the gradient of a
+whole forward pass is compared against central finite differences at a few
+randomly chosen parameter coordinates.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, losses
+
+EPS = 1e-6
+
+
+def spot_check_gradients(model, loss_fn, num_coords=3, seed=0, tol=1e-4):
+    """Compare autograd gradients with finite differences at random coords."""
+    loss = loss_fn()
+    model.zero_grad()
+    loss.backward()
+    rng = np.random.default_rng(seed)
+    params = list(model.named_parameters())
+    for _ in range(num_coords):
+        name, param = params[rng.integers(len(params))]
+        flat_index = int(rng.integers(param.size))
+        idx = np.unravel_index(flat_index, param.shape)
+        analytic = param.grad[idx]
+        orig = param.data[idx]
+        param.data[idx] = orig + EPS
+        fp = loss_fn().item()
+        param.data[idx] = orig - EPS
+        fm = loss_fn().item()
+        param.data[idx] = orig
+        numeric = (fp - fm) / (2 * EPS)
+        assert analytic == pytest.approx(numeric, abs=tol), (
+            f"gradient mismatch at {name}{idx}: {analytic} vs {numeric}"
+        )
+
+
+class TestBatchNormGradients:
+    def test_bn1d_train_mode(self):
+        rng = np.random.default_rng(0)
+        bn = nn.BatchNorm1d(4)
+        x = rng.normal(size=(8, 4))
+
+        def loss_fn():
+            return (bn(Tensor(x)) ** 2).sum() * 0.1
+
+        spot_check_gradients(bn, loss_fn, num_coords=4)
+
+    def test_bn2d_train_mode(self):
+        rng = np.random.default_rng(1)
+        bn = nn.BatchNorm2d(3)
+        x = rng.normal(size=(4, 3, 5, 5))
+
+        def loss_fn():
+            return (bn(Tensor(x)) ** 2).mean()
+
+        spot_check_gradients(bn, loss_fn, num_coords=4)
+
+    def test_bn_running_stats_are_not_parameters(self):
+        bn = nn.BatchNorm1d(4)
+        names = [n for n, _ in bn.named_parameters()]
+        assert set(names) == {"weight", "bias"}
+
+
+class TestConvLayerGradients:
+    def test_conv_with_stride_and_padding(self):
+        rng = np.random.default_rng(2)
+        conv = nn.Conv2d(2, 3, 3, stride=2, padding=1, rng=2)
+        x = rng.normal(size=(2, 2, 6, 6))
+
+        def loss_fn():
+            return (conv(Tensor(x)) ** 2).mean()
+
+        spot_check_gradients(conv, loss_fn, num_coords=4)
+
+
+class TestFullModelGradients:
+    def test_mlp_with_ce_loss(self):
+        rng = np.random.default_rng(3)
+        model = nn.build_model("mlp_small", 4, (3, 6, 6), feature_dim=8, rng=3)
+        x = rng.normal(size=(6, 3, 6, 6))
+        y = rng.integers(0, 4, 6)
+
+        def loss_fn():
+            return losses.cross_entropy(model(Tensor(x)), y)
+
+        spot_check_gradients(model, loss_fn, num_coords=5)
+
+    def test_resnet_with_composite_fedpkd_loss(self):
+        rng = np.random.default_rng(4)
+        model = nn.build_model("resnet11", 3, (3, 6, 6), feature_dim=8, rng=4)
+        x = rng.normal(size=(4, 3, 6, 6))
+        teacher = rng.normal(size=(4, 3))
+        pseudo = teacher.argmax(axis=1)
+        protos = rng.normal(size=(3, 8))
+
+        def loss_fn():
+            logits, feats = model.forward_with_features(Tensor(x))
+            kd = losses.kl_divergence(teacher, logits) + losses.cross_entropy(
+                logits, pseudo
+            )
+            proto = losses.mse_loss(feats, protos[pseudo])
+            return 0.5 * kd + 0.5 * proto
+
+        # BatchNorm batch statistics make finite differences slightly less
+        # exact; loosen tolerance accordingly.
+        spot_check_gradients(model, loss_fn, num_coords=4, tol=1e-3)
+
+    def test_kl_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(5)
+        teacher = rng.normal(size=(5, 4))
+        student = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        losses.kl_divergence(teacher, student, temperature=2.0).backward()
+        idx = (2, 1)
+        orig = student.data[idx]
+
+        def f():
+            return losses.kl_divergence(
+                teacher, Tensor(student.data), temperature=2.0
+            ).item()
+
+        student.data[idx] = orig + EPS
+        fp = f()
+        student.data[idx] = orig - EPS
+        fm = f()
+        student.data[idx] = orig
+        assert student.grad[idx] == pytest.approx((fp - fm) / (2 * EPS), abs=1e-5)

@@ -1,0 +1,75 @@
+"""Tests for learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, CosineAnnealingLR, StepLR, Tensor, WarmupLR
+
+
+def make_opt(lr=1.0):
+    return Adam([Tensor(np.zeros(2), requires_grad=True)], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        opt = make_opt(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(5)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25, 0.25]
+
+    def test_updates_optimizer(self):
+        opt = make_opt(1.0)
+        sched = StepLR(opt, step_size=1, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-12)
+        assert lrs[4] == pytest.approx(0.5, abs=1e-9)
+
+    def test_monotone_decrease(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=8)
+        lrs = [sched.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_after_t_max(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=2, eta_min=0.1)
+        for _ in range(5):
+            lr = sched.step()
+        assert lr == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_opt(), t_max=0)
+
+
+class TestWarmup:
+    def test_starts_scaled_down(self):
+        opt = make_opt(1.0)
+        WarmupLR(opt, warmup_epochs=4, start_factor=0.25)
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_reaches_base(self):
+        opt = make_opt(1.0)
+        sched = WarmupLR(opt, warmup_epochs=4, start_factor=0.2)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs[3] == pytest.approx(1.0)
+        assert lrs[-1] == pytest.approx(1.0)
+        assert all(a <= b + 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupLR(make_opt(), warmup_epochs=0)
+        with pytest.raises(ValueError):
+            WarmupLR(make_opt(), warmup_epochs=2, start_factor=0.0)

@@ -1,0 +1,68 @@
+"""Tests for wire-format serialisation and payload accounting."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import (
+    WIRE_DTYPE,
+    array_num_bytes,
+    deserialize_state,
+    payload_num_bytes,
+    serialize_state,
+)
+
+
+class TestPayloadBytes:
+    def test_array_bytes(self):
+        assert array_num_bytes(np.zeros((10, 10))) == 400
+
+    def test_none_is_free(self):
+        assert payload_num_bytes(None) == 0
+
+    def test_scalars_count_as_one_float(self):
+        assert payload_num_bytes(3.14) == 4
+        assert payload_num_bytes(7) == 4
+
+    def test_nested_dict(self):
+        payload = {"a": np.zeros(5), "b": {"c": np.zeros((2, 2)), "d": None}}
+        assert payload_num_bytes(payload) == (5 + 4) * 4
+
+    def test_lists_and_tuples(self):
+        assert payload_num_bytes([np.zeros(2), (np.zeros(3),)]) == 20
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            payload_num_bytes("a string")
+
+    def test_state_dict_size_matches_param_count(self):
+        model = nn.build_model("mlp_small", 10, (3, 8, 8), rng=0)
+        state = model.state_dict()
+        assert payload_num_bytes(state) == model.num_parameters() * WIRE_DTYPE().itemsize
+
+
+class TestStateSerialisation:
+    def test_roundtrip(self):
+        state = {
+            "weight": np.random.default_rng(0).normal(size=(3, 4)),
+            "bias": np.zeros(3),
+        }
+        restored = deserialize_state(serialize_state(state))
+        assert set(restored) == {"weight", "bias"}
+        np.testing.assert_allclose(restored["weight"], state["weight"], atol=1e-6)
+
+    def test_float32_precision_on_wire(self):
+        state = {"w": np.array([1.0 + 1e-10])}
+        restored = deserialize_state(serialize_state(state))
+        # wire format is float32: tiny residue is truncated
+        assert restored["w"][0] == np.float32(1.0 + 1e-10)
+
+    def test_model_roundtrip_through_wire(self):
+        a = nn.build_model("mlp_small", 4, (3, 6, 6), feature_dim=8, rng=0)
+        b = nn.build_model("mlp_small", 4, (3, 6, 6), feature_dim=8, rng=5)
+        blob = serialize_state(a.state_dict())
+        b.load_state_dict(deserialize_state(blob))
+        x = np.random.default_rng(1).normal(size=(3, 3, 6, 6))
+        np.testing.assert_allclose(
+            a.predict_logits(x), b.predict_logits(x), atol=1e-4
+        )

@@ -1,0 +1,63 @@
+"""Property tests for wire serialisation and optimiser invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import (
+    Adam,
+    Tensor,
+    deserialize_state,
+    payload_num_bytes,
+    serialize_state,
+)
+
+ARRAYS = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+    elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, width=32),
+)
+
+STATE_DICTS = st.dictionaries(
+    keys=st.text(
+        alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=122),
+        min_size=1,
+        max_size=8,
+    ),
+    values=ARRAYS,
+    min_size=1,
+    max_size=5,
+)
+
+
+@given(STATE_DICTS)
+@settings(max_examples=30, deadline=None)
+def test_serialize_roundtrip_preserves_float32_content(state):
+    restored = deserialize_state(serialize_state(state))
+    assert set(restored) == set(state)
+    for key, value in state.items():
+        np.testing.assert_array_equal(
+            restored[key], np.asarray(value, dtype=np.float32).astype(np.float64)
+        )
+
+
+@given(STATE_DICTS)
+@settings(max_examples=30, deadline=None)
+def test_payload_bytes_is_four_per_element(state):
+    total_elements = sum(np.asarray(v).size for v in state.values())
+    assert payload_num_bytes(state) == 4 * total_elements
+
+
+@given(
+    grad=st.floats(min_value=-1e6, max_value=1e6).filter(lambda g: abs(g) > 1e-8),
+    lr=st.floats(min_value=1e-5, max_value=1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_adam_first_step_magnitude_is_lr(grad, lr):
+    """Bias-corrected Adam's first update is ±lr regardless of grad scale."""
+    p = Tensor(np.array([0.0]), requires_grad=True)
+    opt = Adam([p], lr=lr)
+    p.grad = np.array([grad])
+    opt.step()
+    assert abs(abs(p.data[0]) - lr) < lr * 1e-3
+    assert np.sign(p.data[0]) == -np.sign(grad)

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestRunCommand:
+    def test_run_writes_history(self, tmp_path, capsys):
+        out = tmp_path / "history.json"
+        code = main(
+            [
+                "run",
+                "--algorithm",
+                "fedavg",
+                "--scale",
+                "tiny",
+                "--rounds",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["algorithm"] == "fedavg"
+        assert len(payload["records"]) == 1
+        assert "S_acc=" in capsys.readouterr().out
+
+    def test_run_without_out(self, capsys):
+        assert main(["run", "--algorithm", "fedmd", "--scale", "tiny", "--rounds", "1"]) == 0
+        assert "fedmd" in capsys.readouterr().out
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "nope"])
+
+
+class TestExperimentCommand:
+    def test_experiment_names_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig3", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "table1",
+        }
+
+    @pytest.mark.slow
+    def test_fig9_runs(self, capsys):
+        assert main(["experiment", "fig9", "--scale", "tiny"]) == 0
+        assert "theta" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig4"])

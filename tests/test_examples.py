@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the first thing users touch; these tests execute each one in a
+subprocess with minimal rounds and assert a zero exit code plus a marker
+string from its output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["--rounds", "1", "--clients", "4", "--epoch-scale", "0.05"],
+     "final server accuracy"),
+    ("heterogeneous_clients.py", ["--rounds", "1", "--epoch-scale", "0.05"],
+     "Heterogeneous clients"),
+    ("communication_budget.py", ["--rounds", "1", "--epoch-scale", "0.05"],
+     "Communication to reach"),
+    ("ablation_study.py", ["--rounds", "1", "--epoch-scale", "0.05"],
+     "FedPKD ablation"),
+    ("custom_algorithm.py", ["--rounds", "1"], "best client accuracy"),
+    ("diagnostics.py", ["--rounds", "1"], "prototype geometry"),
+    ("straggler_analysis.py", [], "straggler gap"),
+]
+
+
+@pytest.mark.parametrize("script,args,marker", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args, marker):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert marker in result.stdout
