@@ -21,6 +21,9 @@ Subpackages
     Synthetic CIFAR-like tasks, non-IID partitioners, loaders.
 ``repro.fl``
     Federated simulation framework with communication accounting.
+``repro.runtime``
+    Client-execution runtime: serial and process-parallel executors with
+    fault-tolerant workers (``FederationConfig(executor="parallel")``).
 ``repro.core``
     FedPKD itself: dual knowledge transfer, variance-weighted aggregation,
     prototype aggregation, data filtering, ensemble distillation.
@@ -30,7 +33,7 @@ Subpackages
     Runners that regenerate every figure and table of the paper.
 """
 
-from . import analysis, baselines, core, data, fl, nn
+from . import analysis, baselines, core, data, fl, nn, runtime
 from .algorithms import ALGORITHMS, algorithm_supports, build_algorithm
 
 __version__ = "1.0.0"
@@ -42,6 +45,7 @@ __all__ = [
     "core",
     "baselines",
     "analysis",
+    "runtime",
     "ALGORITHMS",
     "build_algorithm",
     "algorithm_supports",

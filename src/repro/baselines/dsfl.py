@@ -15,6 +15,7 @@ from ..core.aggregation import entropy_reduction_aggregate
 from ..fl.client import FLClient
 from ..fl.config import TrainingConfig
 from ..fl.simulation import Federation, FederatedAlgorithm
+from ..runtime import PUBLIC_X
 
 __all__ = ["DSFLConfig", "DSFL"]
 
@@ -44,21 +45,28 @@ class DSFL(FederatedAlgorithm):
 
     def run_round(self, participants: List[FLClient]) -> Dict[str, float]:
         cfg = self.config
-        logits_list = []
-        for client in participants:
-            client.train_local(cfg.local)
-            logits = client.logits_on(self.public_x)
+        self.map_clients(
+            participants, "train_local", {"config": cfg.local}, stage="local_train"
+        )
+        logits_list = self.map_clients(
+            participants, "logits_on", {"x": PUBLIC_X}, stage="public_logits"
+        )
+        for client, logits in zip(participants, logits_list):
             self.channel.upload(client.client_id, {"logits": logits})
-            logits_list.append(logits)
         consensus = entropy_reduction_aggregate(
             logits_list, temperature=cfg.era_temperature
         )
         for client in participants:
             self.channel.download(client.client_id, {"consensus": consensus})
-            client.train_public_distill(
-                self.public_x,
-                consensus,
-                cfg.digest,
-                kd_weight=cfg.kd_weight,
-            )
+        self.map_clients(
+            participants,
+            "train_public_distill",
+            {
+                "x_public": PUBLIC_X,
+                "teacher_logits": consensus,
+                "config": cfg.digest,
+                "kd_weight": cfg.kd_weight,
+            },
+            stage="digest",
+        )
         return {"participants": float(len(participants))}

@@ -49,21 +49,28 @@ class FedAvg(FederatedAlgorithm):
                     "and the server"
                 )
 
-    def _local_training(self, client: FLClient, reference: Dict) -> None:
+    def _local_training_kwargs(self, reference: Dict) -> Dict:
         """Hook overridden by FedProx to add the proximal term."""
-        client.train_local(self.config.local)
+        return {"config": self.config.local}
 
     def run_round(self, participants: List[FLClient]) -> Dict[str, float]:
         global_state = self.server.model.state_dict()
-        states, sizes = [], []
         for client in participants:
             self.channel.download(client.client_id, global_state)
             client.model.load_state_dict(global_state)
-            self._local_training(client, global_state)
+        self.map_clients(
+            participants,
+            "train_local",
+            self._local_training_kwargs(global_state),
+            stage="local_train",
+        )
+        states, sizes = [], []
+        for client in participants:
             state = client.model.state_dict()
             self.channel.upload(client.client_id, state)
             states.append(state)
             sizes.append(client.num_samples)
-        averaged = weighted_average_states(states, sizes)
-        self.server.model.load_state_dict(averaged)
+        if states:
+            averaged = weighted_average_states(states, sizes)
+            self.server.model.load_state_dict(averaged)
         return {"participants": float(len(participants))}

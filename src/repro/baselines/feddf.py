@@ -21,6 +21,7 @@ from ..core.aggregation import equal_average_aggregate
 from ..fl.client import FLClient
 from ..fl.config import TrainingConfig
 from ..fl.simulation import Federation
+from ..runtime import PUBLIC_X
 from .fedavg import FedAvg
 from .model_averaging import weighted_average_states
 
@@ -53,22 +54,29 @@ class FedDF(FedAvg):
     def run_round(self, participants: List[FLClient]) -> Dict[str, float]:
         cfg = self.config
         global_state = self.server.model.state_dict()
-        states, sizes = [], []
         for client in participants:
             self.channel.download(client.client_id, global_state)
             client.model.load_state_dict(global_state)
-            client.train_local(cfg.local)
+        self.map_clients(
+            participants, "train_local", {"config": cfg.local}, stage="local_train"
+        )
+        states, sizes = [], []
+        for client in participants:
             state = client.model.state_dict()
             self.channel.upload(client.client_id, state)
             states.append(state)
             sizes.append(client.num_samples)
+        if not states:
+            return {"participants": 0.0, "server_loss": 0.0}
         # Fusion step 1: parameter averaging (initialisation of the fusion).
         averaged = weighted_average_states(states, sizes)
         self.server.model.load_state_dict(averaged)
         # Fusion step 2: ensemble distillation on the public set.  The
         # server evaluates each uploaded client model; no extra transfer.
         ensemble = equal_average_aggregate(
-            [client.model.predict_logits(self.public_x) for client in participants]
+            self.map_clients(
+                participants, "logits_on", {"x": PUBLIC_X}, stage="public_logits"
+            )
         )
         loss = self.server.train_distill(
             self.public_x,

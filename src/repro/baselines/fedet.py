@@ -21,6 +21,7 @@ from ..core.aggregation import variance_weighted_aggregate
 from ..fl.client import FLClient
 from ..fl.config import TrainingConfig
 from ..fl.simulation import Federation, FederatedAlgorithm
+from ..runtime import PUBLIC_X
 
 __all__ = ["FedETConfig", "FedET"]
 
@@ -55,12 +56,15 @@ class FedET(FederatedAlgorithm):
 
     def run_round(self, participants: List[FLClient]) -> Dict[str, float]:
         cfg = self.config
-        logits_list = []
+        self.map_clients(
+            participants, "train_local", {"config": cfg.local}, stage="local_train"
+        )
+        logits_list = self.map_clients(
+            participants, "logits_on", {"x": PUBLIC_X}, stage="public_logits"
+        )
         for client in participants:
-            client.train_local(cfg.local)
             # FedET uploads model parameters (the expensive part).
             self.channel.upload(client.client_id, client.model.state_dict())
-            logits_list.append(client.logits_on(self.public_x))
         ensemble = variance_weighted_aggregate(logits_list)
         pseudo = ensemble.argmax(axis=1)
         loss = self.server.train_distill(
@@ -74,11 +78,16 @@ class FedET(FederatedAlgorithm):
         server_logits = self.server.logits_on(self.public_x)
         for client in participants:
             self.channel.download(client.client_id, {"server_logits": server_logits})
-            client.train_public_distill(
-                self.public_x,
-                server_logits,
-                cfg.public,
-                kd_weight=cfg.kd_weight,
-                temperature=cfg.temperature,
-            )
+        self.map_clients(
+            participants,
+            "train_public_distill",
+            {
+                "x_public": PUBLIC_X,
+                "teacher_logits": server_logits,
+                "config": cfg.public,
+                "kd_weight": cfg.kd_weight,
+                "temperature": cfg.temperature,
+            },
+            stage="public_train",
+        )
         return {"participants": float(len(participants)), "server_loss": loss}

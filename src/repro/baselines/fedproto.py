@@ -53,22 +53,28 @@ class FedProto(FederatedAlgorithm):
 
     def run_round(self, participants: List[FLClient]) -> Dict[str, float]:
         cfg = self.config
-        protos_list, counts_list = [], []
-        for client in participants:
-            use_protos = self.global_prototypes is not None and cfg.proto_weight > 0
-            client.train_local(
-                cfg.local,
-                prototypes=self.global_prototypes if use_protos else None,
-                prototype_weight=cfg.proto_weight if use_protos else 0.0,
-            )
-            protos = client.compute_prototypes()
+        use_protos = self.global_prototypes is not None and cfg.proto_weight > 0
+        self.map_clients(
+            participants,
+            "train_local",
+            {
+                "config": cfg.local,
+                "prototypes": self.global_prototypes if use_protos else None,
+                "prototype_weight": cfg.proto_weight if use_protos else 0.0,
+            },
+            stage="local_train",
+        )
+        protos_list = self.map_clients(
+            participants, "compute_prototypes", stage="prototypes"
+        )
+        counts_list = []
+        for client, protos in zip(participants, protos_list):
             counts = client.class_counts()
             present = prototype_coverage(protos)
             self.channel.upload(
                 client.client_id,
                 {"prototypes": protos[present], "class_counts": counts},
             )
-            protos_list.append(protos)
             counts_list.append(counts)
         new_protos = aggregate_prototypes(protos_list, counts_list)
         self.global_prototypes = merge_prototypes(new_protos, self.global_prototypes)

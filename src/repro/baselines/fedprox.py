@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..fl.client import FLClient
 from ..fl.config import TrainingConfig
 from ..fl.simulation import Federation
 from .fedavg import FedAvg
@@ -44,9 +43,9 @@ class FedProx(FedAvg):
         # (both expose ``.local``, which is all FedAvg.run_round reads).
         self.config = self.prox_config
 
-    def _local_training(self, client: FLClient, reference: Dict) -> None:
-        client.train_local(
-            self.config.local,
-            prox_mu=self.prox_config.mu,
-            prox_reference=reference,
-        )
+    def _local_training_kwargs(self, reference: Dict) -> Dict:
+        return {
+            "config": self.config.local,
+            "prox_mu": self.prox_config.mu,
+            "prox_reference": reference,
+        }

@@ -15,6 +15,7 @@ from ..core.aggregation import equal_average_aggregate
 from ..fl.client import FLClient
 from ..fl.config import TrainingConfig
 from ..fl.simulation import Federation, FederatedAlgorithm
+from ..runtime import PUBLIC_X
 
 __all__ = ["NaiveKDConfig", "NaiveKD"]
 
@@ -47,12 +48,14 @@ class NaiveKD(FederatedAlgorithm):
 
     def run_round(self, participants: List[FLClient]) -> Dict[str, float]:
         cfg = self.config
-        logits_list = []
-        for client in participants:
-            client.train_local(cfg.local)
-            logits = client.logits_on(self.public_x)
+        self.map_clients(
+            participants, "train_local", {"config": cfg.local}, stage="local_train"
+        )
+        logits_list = self.map_clients(
+            participants, "logits_on", {"x": PUBLIC_X}, stage="public_logits"
+        )
+        for client, logits in zip(participants, logits_list):
             self.channel.upload(client.client_id, {"logits": logits})
-            logits_list.append(logits)
         aggregated = equal_average_aggregate(logits_list)
         loss = self.server.train_distill(
             self.public_x, aggregated, cfg.server, kd_weight=cfg.kd_weight
@@ -63,7 +66,15 @@ class NaiveKD(FederatedAlgorithm):
                 self.channel.download(
                     client.client_id, {"server_logits": server_logits}
                 )
-                client.train_public_distill(
-                    self.public_x, server_logits, cfg.public, kd_weight=cfg.kd_weight
-                )
+            self.map_clients(
+                participants,
+                "train_public_distill",
+                {
+                    "x_public": PUBLIC_X,
+                    "teacher_logits": server_logits,
+                    "config": cfg.public,
+                    "kd_weight": cfg.kd_weight,
+                },
+                stage="public_train",
+            )
         return {"participants": float(len(participants)), "server_loss": loss}

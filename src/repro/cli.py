@@ -64,6 +64,24 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--heterogeneous", action="store_true")
     run_p.add_argument("--rounds", type=int, default=None)
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--executor",
+        choices=("serial", "parallel"),
+        default="serial",
+        help="client-execution runtime (parallel fans clients out to workers)",
+    )
+    run_p.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker processes for --executor parallel (default: min(clients, cores))",
+    )
+    run_p.add_argument(
+        "--task-timeout-s",
+        type=float,
+        default=None,
+        help="per-client task timeout; a timed-out client drops out of the round",
+    )
     run_p.add_argument("--out", default=None, help="path for the history JSON")
     run_p.add_argument("--verbose", action="store_true")
 
@@ -82,6 +100,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         heterogeneous=args.heterogeneous,
         scale=args.scale,
         seed=args.seed,
+        executor=args.executor,
+        max_workers=args.max_workers,
+        task_timeout_s=args.task_timeout_s,
     )
     history = run_algorithm(setting, args.algorithm, rounds=args.rounds)
     last = history.records[-1]

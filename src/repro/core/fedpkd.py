@@ -33,6 +33,7 @@ from ..fl.client import FLClient
 from ..fl.compression import roundtrip
 from ..fl.config import TrainingConfig
 from ..fl.simulation import Federation, FederatedAlgorithm
+from ..runtime import PUBLIC_X
 from .aggregation import (
     entropy_weighted_aggregate,
     equal_average_aggregate,
@@ -130,22 +131,33 @@ class FedPKD(FederatedAlgorithm):
             and self.global_prototypes is not None
             and cfg.epsilon > 0.0
         )
-        for client in participants:
-            client.train_local(
-                cfg.local,
-                prototypes=self.global_prototypes if use_protos else None,
-                prototype_weight=cfg.epsilon if use_protos else 0.0,
-            )
+        self.map_clients(
+            participants,
+            "train_local",
+            {
+                "config": cfg.local,
+                "prototypes": self.global_prototypes if use_protos else None,
+                "prototype_weight": cfg.epsilon if use_protos else 0.0,
+            },
+            stage="local_train",
+        )
 
     def _collect_dual_knowledge(self, participants: List[FLClient]):
         """Uplink: logits on the public set + prototypes + class counts."""
+        knowledge = self.map_clients(
+            participants,
+            "public_knowledge",
+            {"x": PUBLIC_X},
+            stage="public_knowledge",
+        )
         logits_list, protos_list, counts_list = [], [], []
-        for client in participants:
-            logits = client.logits_on(self.public_x)
+        for client, bundle in zip(participants, knowledge):
             # the server sees the (possibly lossy) wire version
-            logits, wire_logits = roundtrip(logits, self.config.logit_compression)
-            protos = client.compute_prototypes()
-            counts = client.class_counts()
+            logits, wire_logits = roundtrip(
+                bundle["logits"], self.config.logit_compression
+            )
+            protos = bundle["prototypes"]
+            counts = bundle["class_counts"]
             present = prototype_coverage(protos)
             self.channel.upload(
                 client.client_id,
@@ -224,14 +236,19 @@ class FedPKD(FederatedAlgorithm):
         pseudo = server_logits.argmax(axis=1)  # Eq. 14
         for client in participants:
             self.channel.download(client.client_id, payload)
-            client.train_public_distill(
-                x_subset,
-                server_logits,
-                cfg.public,
-                kd_weight=cfg.gamma,
-                pseudo_labels=pseudo,
-                temperature=cfg.temperature,
-            )
+        self.map_clients(
+            participants,
+            "train_public_distill",
+            {
+                "x_public": x_subset,
+                "teacher_logits": server_logits,
+                "config": cfg.public,
+                "kd_weight": cfg.gamma,
+                "pseudo_labels": pseudo,
+                "temperature": cfg.temperature,
+            },
+            stage="public_train",
+        )
 
     # ------------------------------------------------------------------
     # the round

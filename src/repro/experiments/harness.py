@@ -91,6 +91,10 @@ class ExperimentSetting:
     scale: str = "tiny"
     seed: int = 0
     scale_overrides: dict = field(default_factory=dict)
+    # client-execution runtime (see repro.runtime)
+    executor: str = "serial"
+    max_workers: Optional[int] = None
+    task_timeout_s: Optional[float] = None
 
     def scale_config(self) -> ScaleConfig:
         base = SCALES[self.scale].sized_for(self.dataset)
@@ -174,6 +178,9 @@ def federation_for(
         client_models=roles["client_models"],
         server_model=server_model,
         seed=setting.seed,
+        executor=setting.executor,
+        max_workers=setting.max_workers,
+        task_timeout_s=setting.task_timeout_s,
     )
     return build_federation(bundle, config)
 

@@ -3,7 +3,7 @@
 from .channel import ChannelSnapshot, CommChannel
 from .client import FLClient
 from .config import FederationConfig, TrainingConfig
-from .failures import ParticipationSampler
+from .failures import DropoutLog, ParticipationSampler, RuntimeDropout
 from .metrics import RoundRecord, RunHistory
 from .server import FLServer
 from .simulation import Federation, FederatedAlgorithm, build_federation
@@ -23,6 +23,8 @@ __all__ = [
     "FederationConfig",
     "TrainingConfig",
     "ParticipationSampler",
+    "DropoutLog",
+    "RuntimeDropout",
     "RoundRecord",
     "RunHistory",
     "Federation",

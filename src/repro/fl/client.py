@@ -19,6 +19,11 @@ class FLClient:
     The class is algorithm-agnostic; algorithms call its training helpers
     with the loss ingredients they need (proximal anchors, prototypes,
     teacher logits, ...).
+
+    ``model_name`` records the registry name the model was built from; the
+    parallel runtime (:mod:`repro.runtime`) uses it to rebuild a
+    structurally identical client inside worker processes.  Hand-built
+    clients may leave it ``None``, in which case their work runs inline.
     """
 
     def __init__(
@@ -31,9 +36,11 @@ class FLClient:
         y_test: np.ndarray,
         num_classes: int,
         seed: int = 0,
+        model_name: Optional[str] = None,
     ) -> None:
         self.client_id = client_id
         self.model = model
+        self.model_name = model_name
         self.x_train = x_train
         self.y_train = np.asarray(y_train, dtype=np.int64)
         self.x_test = x_test
@@ -119,6 +126,18 @@ class FLClient:
         for cls in self.present_classes():
             protos[cls] = feats[self.y_train == cls].mean(axis=0)
         return protos
+
+    def public_knowledge(self, x: np.ndarray) -> Dict[str, np.ndarray]:
+        """One uplink bundle: logits on ``x``, local prototypes, class counts.
+
+        Bundling the three lets the runtime ship a client's entire dual-
+        knowledge contribution (FedPKD's uplink) as a single task.
+        """
+        return {
+            "logits": self.logits_on(x),
+            "prototypes": self.compute_prototypes(),
+            "class_counts": self.class_counts(),
+        }
 
     # ------------------------------------------------------------------
     # evaluation

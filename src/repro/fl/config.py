@@ -57,6 +57,19 @@ class FederationConfig:
     dropout_prob:
         Per-round probability that a client is unavailable (failure
         injection; 0 reproduces the paper's full-participation setting).
+    executor:
+        Client-execution runtime: ``"serial"`` (inline, the default) or
+        ``"parallel"`` (process pool; see :mod:`repro.runtime`).  For a
+        fixed seed both produce bit-identical run histories.
+    max_workers:
+        Worker-process count for the parallel executor (``None`` sizes the
+        pool to ``min(num_clients, cpu_count)``).
+    task_timeout_s:
+        Per-task result deadline under the parallel executor; a client
+        whose task exhausts its timeout budget is recorded as a runtime
+        dropout for that round.  ``None`` disables the deadline.
+    task_retries:
+        Extra attempts granted to a task after a timeout or worker death.
     """
 
     num_clients: int = 8
@@ -67,6 +80,10 @@ class FederationConfig:
     local_test_fraction: float = 0.2
     dropout_prob: float = 0.0
     seed: int = 0
+    executor: str = "serial"
+    max_workers: Optional[int] = None
+    task_timeout_s: Optional[float] = None
+    task_retries: int = 1
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -76,6 +93,14 @@ class FederationConfig:
             raise ValueError(f"unknown partition kind '{kind}'")
         if not 0.0 <= self.dropout_prob < 1.0:
             raise ValueError("dropout_prob must be in [0, 1)")
+        if self.executor not in ("serial", "parallel"):
+            raise ValueError(f"unknown executor '{self.executor}'")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
 
     def client_model_names(self) -> List[str]:
         """Resolve per-client model names (cycling a heterogeneous list)."""

@@ -1,18 +1,29 @@
-"""Failure injection for robustness experiments.
+"""Failure injection and failure bookkeeping for robustness experiments.
 
 Real deployments lose clients to crashes, churn, and stragglers.  The paper
 assumes full participation; these utilities let the test suite and the
 extension benchmarks check that every algorithm degrades gracefully when
 clients go missing.
+
+Two failure surfaces exist:
+
+- **Pre-round dropout** — :class:`ParticipationSampler` removes clients
+  before the round starts (the classic availability model).
+- **Runtime dropout** — a client's worker task times out or its worker
+  dies mid-round under the parallel runtime
+  (:mod:`repro.runtime`).  :class:`DropoutLog` records those events so a
+  failed worker degrades to "this client missed the round" instead of
+  aborting the run.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
 
-__all__ = ["ParticipationSampler"]
+__all__ = ["ParticipationSampler", "RuntimeDropout", "DropoutLog"]
 
 
 class ParticipationSampler:
@@ -54,8 +65,50 @@ class ParticipationSampler:
             for cid in range(self.num_clients)
             if self.rng.random() >= self.dropout_prob
         ]
-        while len(available) < self.min_available:
-            extra = int(self.rng.integers(0, self.num_clients))
-            if extra not in available:
-                available.append(extra)
+        shortfall = self.min_available - len(available)
+        if shortfall > 0:
+            # top up with a single draw over the dropped set (without
+            # replacement) — rejection sampling here can spin arbitrarily
+            # long at high dropout_prob
+            dropped = np.setdiff1d(
+                np.arange(self.num_clients), np.asarray(available, dtype=np.int64)
+            )
+            extra = self.rng.choice(dropped, size=shortfall, replace=False)
+            available.extend(int(cid) for cid in extra)
         return sorted(available)
+
+
+@dataclass
+class RuntimeDropout:
+    """One client knocked out of one round by a runtime fault."""
+
+    round_index: int
+    client_id: int
+    stage: str
+    reason: str  # "timeout" | "worker_death" | "error"
+
+
+class DropoutLog:
+    """Ordered record of runtime dropouts across a run."""
+
+    def __init__(self) -> None:
+        self.events: List[RuntimeDropout] = []
+
+    def record(
+        self, round_index: int, client_id: int, stage: str, reason: str
+    ) -> None:
+        self.events.append(RuntimeDropout(round_index, client_id, stage, reason))
+
+    def clients_for_round(self, round_index: int) -> List[int]:
+        """Distinct clients that dropped during ``round_index``."""
+        seen: List[int] = []
+        for event in self.events:
+            if event.round_index == round_index and event.client_id not in seen:
+                seen.append(event.client_id)
+        return seen
+
+    def count_for_round(self, round_index: int) -> int:
+        return len(self.clients_for_round(round_index))
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -24,10 +24,11 @@ from ..data.partition import (
     split_local_train_test,
 )
 from ..nn.models import build_model
+from ..runtime import Executor, SerialExecutor, make_executor
 from .channel import CommChannel
 from .client import FLClient
 from .config import FederationConfig, TrainingConfig
-from .failures import ParticipationSampler
+from .failures import DropoutLog, ParticipationSampler
 from .metrics import RoundRecord, RunHistory
 from .server import FLServer
 
@@ -35,7 +36,7 @@ __all__ = ["build_federation", "Federation", "FederatedAlgorithm"]
 
 
 class Federation:
-    """Concrete clients + server + channel for one experiment."""
+    """Concrete clients + server + channel (+ executor) for one experiment."""
 
     def __init__(
         self,
@@ -44,12 +45,14 @@ class Federation:
         bundle: FederatedDataBundle,
         channel: CommChannel,
         participation: ParticipationSampler,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.clients = clients
         self.server = server
         self.bundle = bundle
         self.channel = channel
         self.participation = participation
+        self.executor = (executor or SerialExecutor()).bind(self)
 
     @property
     def num_clients(self) -> int:
@@ -58,6 +61,10 @@ class Federation:
     @property
     def public_x(self) -> np.ndarray:
         return self.bundle.public
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, if any)."""
+        self.executor.close()
 
 
 def _partition_indices(bundle: FederatedDataBundle, config: FederationConfig):
@@ -107,6 +114,7 @@ def build_federation(
                 y_test=bundle.train.y[test_idx],
                 num_classes=bundle.num_classes,
                 seed=config.seed + 3000 + cid,
+                model_name=model_names[cid],
             )
         )
     server_model = None
@@ -124,7 +132,14 @@ def build_federation(
         dropout_prob=config.dropout_prob,
         seed=config.seed + 6000,
     )
-    return Federation(clients, server, bundle, CommChannel(), participation)
+    return Federation(
+        clients,
+        server,
+        bundle,
+        CommChannel(),
+        participation,
+        executor=make_executor(config),
+    )
 
 
 class FederatedAlgorithm:
@@ -132,6 +147,9 @@ class FederatedAlgorithm:
 
     Subclasses implement :meth:`run_round`, using ``self.federation`` for
     clients/server/public data and ``self.channel`` for every transfer.
+    Per-client stages should go through :meth:`map_clients`, which routes
+    them to the federation's executor (serial or parallel) and turns
+    irrecoverable worker faults into per-round dropouts.
     """
 
     name = "base"
@@ -140,6 +158,7 @@ class FederatedAlgorithm:
         self.federation = federation
         self.rng = np.random.default_rng(seed)
         self.round_index = 0
+        self.dropout_log = DropoutLog()
 
     # convenient aliases -------------------------------------------------
     @property
@@ -162,10 +181,47 @@ class FederatedAlgorithm:
     def public_x(self) -> np.ndarray:
         return self.federation.public_x
 
+    @property
+    def executor(self) -> Executor:
+        return self.federation.executor
+
     def active_clients(self) -> List[FLClient]:
         """Clients participating this round (after failure injection)."""
         ids = self.federation.participation.sample()
         return [self.clients[i] for i in ids]
+
+    def map_clients(
+        self,
+        participants: List[FLClient],
+        method: str,
+        kwargs: Optional[Dict] = None,
+        stage: Optional[str] = None,
+    ) -> List:
+        """Run ``method(**kwargs)`` on every participant via the executor.
+
+        Returns the per-client return values in participant order.  A
+        client whose task irrecoverably fails (timeout / repeated worker
+        death under the parallel executor) is removed from
+        ``participants`` *in place* — so later phases of the same round
+        naturally skip it — and recorded in :attr:`dropout_log`; the
+        returned values align with the surviving participants.
+        """
+        if not participants:
+            return []
+        values, failures = self.executor.run_stage(
+            participants, method, kwargs, stage=stage
+        )
+        if failures:
+            failed_ids = {f.client_id for f in failures}
+            participants[:] = [
+                c for c in participants if c.client_id not in failed_ids
+            ]
+            for failure in failures:
+                self.dropout_log.record(
+                    self.round_index + 1, failure.client_id, failure.stage,
+                    failure.reason,
+                )
+        return values
 
     # ------------------------------------------------------------------
     # the round contract
@@ -197,24 +253,44 @@ class FederatedAlgorithm:
             history = RunHistory(
                 self.name, dataset=self.bundle.name, config={"rounds": rounds}
             )
-        for _ in range(rounds):
+        # wall time, per-stage timings, and runtime dropouts accumulate
+        # across the rounds between evaluations, so each RoundRecord covers
+        # everything since the previous record even when eval_every > 1
+        pending_wall_time = 0.0
+        pending_stage_times: Dict[str, float] = {}
+        pending_dropouts = 0
+        for r in range(rounds):
             start = time.perf_counter()
             participants = self.active_clients()
             extras = self.run_round(participants) or {}
             self.round_index += 1
-            elapsed = time.perf_counter() - start
-            if self.round_index % eval_every == 0 or _ == rounds - 1:
+            pending_wall_time += time.perf_counter() - start
+            for stage_name, seconds in self.executor.pop_stage_times().items():
+                pending_stage_times[stage_name] = (
+                    pending_stage_times.get(stage_name, 0.0) + seconds
+                )
+            pending_dropouts += self.dropout_log.count_for_round(self.round_index)
+            final_round = r == rounds - 1
+            if final_round or self.round_index % eval_every == 0:
                 snap = self.channel.mark_round()
+                extras = dict(extras)
+                for stage_name, seconds in pending_stage_times.items():
+                    extras.setdefault(f"time/{stage_name}", seconds)
+                if pending_dropouts:
+                    extras.setdefault("runtime_dropouts", float(pending_dropouts))
                 record = RoundRecord(
                     round_index=self.round_index,
                     server_acc=self.evaluate_server(),
                     client_accs=self.evaluate_clients(),
                     comm_uplink_bytes=snap.uplink,
                     comm_downlink_bytes=snap.downlink,
-                    wall_time_s=elapsed,
-                    extras=dict(extras),
+                    wall_time_s=pending_wall_time,
+                    extras=extras,
                 )
                 history.append(record)
+                pending_wall_time = 0.0
+                pending_stage_times = {}
+                pending_dropouts = 0
                 if verbose:
                     print(
                         f"[{self.name}] round {self.round_index}: "

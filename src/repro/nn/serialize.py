@@ -59,16 +59,32 @@ def payload_num_bytes(payload: Payload) -> int:
     raise TypeError(f"unsupported payload leaf of type {type(payload)!r}")
 
 
-def serialize_state(state: Dict[str, np.ndarray]) -> bytes:
-    """Serialise a state-dict to bytes (npz container, float32 arrays)."""
+def serialize_state(state: Dict[str, np.ndarray], dtype=WIRE_DTYPE) -> bytes:
+    """Serialise a state-dict to bytes (npz container).
+
+    By default arrays are cast to float32, matching the paper's wire-size
+    accounting.  Pass ``dtype=None`` to preserve each array's native dtype
+    — the lossless mode the parallel runtime uses to ship model state
+    between processes without perturbing a single bit.
+    """
     buffer = io.BytesIO()
-    converted = {k: np.asarray(v, dtype=WIRE_DTYPE) for k, v in state.items()}
+    if dtype is None:
+        converted = {k: np.asarray(v) for k, v in state.items()}
+    else:
+        converted = {k: np.asarray(v, dtype=dtype) for k, v in state.items()}
     np.savez(buffer, **converted)
     return buffer.getvalue()
 
 
-def deserialize_state(blob: bytes) -> Dict[str, np.ndarray]:
-    """Inverse of :func:`serialize_state`; returns float64 arrays."""
+def deserialize_state(blob: bytes, dtype=np.float64) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`serialize_state`; casts arrays to ``dtype``.
+
+    The float64 default matches the training substrate's precision.  Pass
+    ``dtype=None`` to keep exactly the dtypes stored in the container
+    (lossless round trip with ``serialize_state(state, dtype=None)``).
+    """
     buffer = io.BytesIO(blob)
     with np.load(buffer) as archive:
-        return {k: archive[k].astype(np.float64) for k in archive.files}
+        if dtype is None:
+            return {k: archive[k] for k in archive.files}
+        return {k: archive[k].astype(dtype) for k in archive.files}

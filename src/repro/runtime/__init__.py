@@ -1,0 +1,43 @@
+"""Parallel client-execution runtime with fault-tolerant workers.
+
+Per-client work in synchronous FL (local training, public-set inference)
+is embarrassingly parallel.  This package provides the execution substrate
+the round engine fans that work out with:
+
+- :class:`SerialExecutor` — inline execution, the default;
+- :class:`ParallelExecutor` — a process pool with per-task timeouts,
+  bounded retries, and inline fallback, producing bit-identical results
+  to serial execution (see ``docs/RUNTIME.md`` for the determinism and
+  failure contracts);
+- :class:`ClientTask` / :class:`TaskResult` — the serialisable task wire
+  format (model state ships via :mod:`repro.nn.serialize`).
+
+Select an executor per experiment through
+:class:`~repro.fl.config.FederationConfig` (``executor="parallel"``,
+``max_workers``, ``task_timeout_s``, ``task_retries``).
+"""
+
+from .executor import Executor, ParallelExecutor, SerialExecutor, make_executor
+from .task import (
+    MUTATING_METHODS,
+    PUBLIC_X,
+    TASK_METHODS,
+    ClientSpec,
+    ClientTask,
+    TaskFailure,
+    TaskResult,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "ClientSpec",
+    "ClientTask",
+    "TaskResult",
+    "TaskFailure",
+    "PUBLIC_X",
+    "TASK_METHODS",
+    "MUTATING_METHODS",
+]

@@ -1,0 +1,369 @@
+"""Client-execution runtime: serial and process-parallel executors.
+
+The round engine expresses per-client work as *stages* — "run this client
+method with these kwargs across these participants".  An :class:`Executor`
+runs one stage and reports per-stage wall time plus any irrecoverable task
+failures.  Two implementations:
+
+- :class:`SerialExecutor` — inline, in participant order; exactly the
+  behaviour of the historical per-client ``for`` loops.
+- :class:`ParallelExecutor` — fans tasks out to a process pool.  Model
+  state and RNG state travel with each task (see :mod:`repro.runtime.task`),
+  so results are bit-identical to serial execution; the driver folds the
+  returned state back into its clients in participant order.
+
+Fault tolerance (parallel only): each task gets ``task_timeout_s`` to
+deliver a result and ``task_retries`` extra attempts.  A worker death
+(:class:`~concurrent.futures.process.BrokenProcessPool`) recycles the pool
+and retries; a task that keeps killing workers is re-executed inline.  A
+task that exhausts its timeout budget becomes a :class:`TaskFailure` — the
+round engine records the client as a runtime dropout and the round goes on.
+If the pool keeps collapsing, the executor degrades to inline execution for
+the rest of the stage rather than aborting the run.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..nn.serialize import deserialize_state, serialize_state
+from .task import PUBLIC_X, ClientSpec, ClientTask, TaskFailure, TaskResult
+from .worker import init_worker, resolve_kwargs, run_task
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "make_executor"]
+
+Outcome = Union[TaskResult, TaskFailure]
+
+
+class Executor:
+    """Runs per-client stages and accounts per-stage wall time."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._federation = None
+        self._stage_times: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, federation) -> "Executor":
+        """Attach the federation whose clients this executor will drive."""
+        self._federation = federation
+        return self
+
+    def close(self) -> None:
+        """Release worker resources (no-op for inline executors)."""
+
+    # ------------------------------------------------------------------
+    # the stage contract
+    # ------------------------------------------------------------------
+    def run_stage(
+        self,
+        clients: Sequence,
+        method: str,
+        kwargs: Optional[dict] = None,
+        stage: Optional[str] = None,
+    ) -> Tuple[List[Any], List[TaskFailure]]:
+        """Run ``method(**kwargs)`` on every client.
+
+        Returns ``(values, failures)``: ``values`` holds the return values
+        of the clients whose task succeeded, in input order; ``failures``
+        lists the clients that irrecoverably failed (always empty for
+        inline execution).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # timing hooks
+    # ------------------------------------------------------------------
+    def _record_time(self, stage: str, seconds: float) -> None:
+        self._stage_times[stage] = self._stage_times.get(stage, 0.0) + seconds
+
+    def pop_stage_times(self) -> Dict[str, float]:
+        """Return accumulated per-stage seconds and reset the ledger."""
+        times, self._stage_times = self._stage_times, {}
+        return times
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _resolve_inline_kwargs(self, kwargs: Optional[dict]) -> dict:
+        shared = {}
+        if self._federation is not None:
+            shared["public_x"] = self._federation.public_x
+        return resolve_kwargs(dict(kwargs or {}), shared)
+
+    def _run_inline(self, client, method: str, kwargs: Optional[dict]) -> TaskResult:
+        """Execute one stage entry directly on the driver's client object."""
+        start = time.perf_counter()
+        value = getattr(client, method)(**self._resolve_inline_kwargs(kwargs))
+        return TaskResult(
+            client_id=client.client_id,
+            value=value,
+            duration_s=time.perf_counter() - start,
+        )
+
+
+class SerialExecutor(Executor):
+    """Inline execution in participant order — the historical behaviour."""
+
+    name = "serial"
+
+    def run_stage(self, clients, method, kwargs=None, stage=None):
+        stage = stage or method
+        start = time.perf_counter()
+        values = [self._run_inline(c, method, kwargs).value for c in clients]
+        self._record_time(stage, time.perf_counter() - start)
+        return values, []
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution with fault-tolerant workers.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``min(num_clients, os.cpu_count())``.
+    task_timeout_s:
+        Seconds to wait for each task's result while collecting; ``None``
+        waits indefinitely.  On timeout the pool is recycled and the task
+        retried; once retries are exhausted the client becomes a runtime
+        dropout for the round.
+    task_retries:
+        Extra attempts after the first, for timeouts and worker deaths.
+    """
+
+    name = "parallel"
+    # pool collapses tolerated per stage before degrading to inline
+    _MAX_RECYCLES_PER_STAGE = 3
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        task_timeout_s: Optional[float] = None,
+        task_retries: int = 1,
+    ) -> None:
+        super().__init__()
+        if task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive")
+        self.max_workers = max_workers
+        self.task_timeout_s = task_timeout_s
+        self.task_retries = task_retries
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._warned_inline = False
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _build_specs(self) -> Tuple[Dict[int, ClientSpec], Dict[str, Any]]:
+        specs: Dict[int, ClientSpec] = {}
+        for client in self._federation.clients:
+            if client.model_name is None:
+                continue
+            specs[client.client_id] = ClientSpec(
+                client_id=client.client_id,
+                model_name=client.model_name,
+                num_classes=client.num_classes,
+                image_shape=tuple(client.x_train.shape[1:]),
+                feature_dim=client.model.feature_dim,
+                x_train=client.x_train,
+                y_train=client.y_train,
+                x_test=client.x_test,
+                y_test=client.y_test,
+            )
+        shared = {"public_x": self._federation.public_x}
+        return specs, shared
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            if self._federation is None:
+                raise RuntimeError("ParallelExecutor must be bound to a federation")
+            specs, shared = self._build_specs()
+            workers = self.max_workers or min(
+                len(self._federation.clients), os.cpu_count() or 1
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=max(1, workers),
+                initializer=init_worker,
+                initargs=(specs, shared),
+            )
+        return self._pool
+
+    def _recycle_pool(self) -> None:
+        if self._pool is not None:
+            # cancel_futures drops queued work; a worker stuck in a hung
+            # task is abandoned (it exits once the task returns).
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # task construction / result application
+    # ------------------------------------------------------------------
+    def _make_task(self, client, method: str, kwargs: dict, stage: str) -> ClientTask:
+        return ClientTask(
+            client_id=client.client_id,
+            method=method,
+            kwargs=kwargs,
+            state_blob=serialize_state(client.model.state_dict(), dtype=None),
+            rng_state=copy.deepcopy(client.rng.bit_generator.state),
+            stage=stage,
+        )
+
+    def _apply_result(self, client, result: TaskResult) -> None:
+        """Fold a worker's state back into the driver's client."""
+        if result.state_blob is not None:
+            client.model.load_state_dict(
+                deserialize_state(result.state_blob, dtype=None)
+            )
+        if result.rng_state is not None:
+            client.rng.bit_generator.state = result.rng_state
+
+    # ------------------------------------------------------------------
+    # the stage
+    # ------------------------------------------------------------------
+    def run_stage(self, clients, method, kwargs=None, stage=None):
+        stage = stage or method
+        clients = list(clients)
+        if not clients:
+            return [], []
+        start = time.perf_counter()
+        by_id = {c.client_id: c for c in clients}
+        if any(c.model_name is None for c in clients):
+            # hand-built clients without a registry spec cannot be shipped
+            if not self._warned_inline:
+                warnings.warn(
+                    "ParallelExecutor: client(s) without model_name; "
+                    "running stages inline",
+                    RuntimeWarning,
+                )
+                self._warned_inline = True
+            values = [self._run_inline(c, method, kwargs).value for c in clients]
+            self._record_time(stage, time.perf_counter() - start)
+            return values, []
+
+        tasks = [self._make_task(c, method, dict(kwargs or {}), stage) for c in clients]
+        outcomes = self._collect(tasks, by_id)
+        values: List[Any] = []
+        failures: List[TaskFailure] = []
+        for outcome, client in zip(outcomes, clients):
+            if isinstance(outcome, TaskFailure):
+                failures.append(outcome)
+            else:
+                self._apply_result(client, outcome)
+                values.append(outcome.value)
+        if failures and not values:
+            # a stage must not lose every participant: rerun inline (the
+            # driver clients are untouched, so this is exactly serial
+            # semantics).  A deterministic task exception still propagates.
+            values = [self._run_inline(c, method, kwargs).value for c in clients]
+            failures = []
+        self._record_time(stage, time.perf_counter() - start)
+        return values, failures
+
+    def _collect(self, tasks: List[ClientTask], by_id: dict) -> List[Outcome]:
+        n = len(tasks)
+        outcomes: List[Optional[Outcome]] = [None] * n
+        attempts = [0] * n
+        recycles = 0
+        futures = self._submit(tasks, [i for i in range(n)])
+        pending = [i for i in range(n)]
+        while pending:
+            i = pending[0]
+            try:
+                outcomes[i] = futures[i].result(timeout=self.task_timeout_s)
+                pending.pop(0)
+                continue
+            except FuturesTimeout:
+                attempts[i] += 1
+                self._harvest(futures, pending, outcomes)
+                if attempts[i] > self.task_retries:
+                    outcomes[i] = TaskFailure(
+                        client_id=tasks[i].client_id,
+                        stage=tasks[i].stage,
+                        reason="timeout",
+                        detail=f"no result within {self.task_timeout_s}s "
+                        f"after {attempts[i]} attempt(s)",
+                    )
+                    pending.pop(0)
+            except BrokenExecutor:
+                attempts[i] += 1
+                self._harvest(futures, pending, outcomes)
+                if attempts[i] > self.task_retries:
+                    # this task keeps killing workers — run it inline
+                    outcomes[i] = self._run_inline(
+                        by_id[tasks[i].client_id],
+                        tasks[i].method,
+                        tasks[i].kwargs,
+                    )
+                    pending.pop(0)
+            # anything else is a genuine task exception raised by client
+            # code; it propagates exactly as it would under SerialExecutor
+
+            recycles += 1
+            self._recycle_pool()
+            remaining = [j for j in pending if outcomes[j] is None]
+            if recycles > self._MAX_RECYCLES_PER_STAGE:
+                # the pool keeps collapsing: finish the stage inline
+                for j in remaining:
+                    outcomes[j] = self._run_inline(
+                        by_id[tasks[j].client_id], tasks[j].method, tasks[j].kwargs
+                    )
+                break
+            futures = self._submit(tasks, remaining, futures)
+        return [o for o in outcomes if o is not None]
+
+    def _submit(self, tasks, indices, futures=None):
+        futures = dict(futures or {})
+        pool = self._ensure_pool()
+        for i in indices:
+            futures[i] = pool.submit(run_task, tasks[i])
+        return futures
+
+    @staticmethod
+    def _harvest(futures, pending, outcomes) -> None:
+        """Bank results of already-finished tasks before recycling the pool."""
+        for j in list(pending):
+            fut = futures.get(j)
+            if (
+                outcomes[j] is None
+                and fut is not None
+                and fut.done()
+                and not fut.cancelled()
+                and fut.exception() is None
+            ):
+                outcomes[j] = fut.result()
+                pending.remove(j)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_executor(config) -> Executor:
+    """Build the executor a :class:`~repro.fl.config.FederationConfig` asks for."""
+    kind = getattr(config, "executor", "serial")
+    if kind == "parallel":
+        return ParallelExecutor(
+            max_workers=getattr(config, "max_workers", None),
+            task_timeout_s=getattr(config, "task_timeout_s", None),
+            task_retries=getattr(config, "task_retries", 1),
+        )
+    if kind == "serial":
+        return SerialExecutor()
+    raise ValueError(f"unknown executor kind '{kind}'")

@@ -1,5 +1,7 @@
 """Tests for federation construction, participation, and the round engine."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -86,6 +88,19 @@ class TestParticipationSampler:
         with pytest.raises(ValueError):
             ParticipationSampler(4, min_available=5)
 
+    def test_min_available_topup_unique_ids(self):
+        # extreme dropout forces the top-up path every round; the single
+        # choice() draw must stay fast and never duplicate a client id
+        sampler = ParticipationSampler(
+            8, dropout_prob=0.99, min_available=5, seed=3
+        )
+        for _ in range(200):
+            ids = sampler.sample()
+            assert len(ids) >= 5
+            assert len(ids) == len(set(ids))
+            assert ids == sorted(ids)
+            assert all(0 <= cid < 8 for cid in ids)
+
 
 class _CountingAlgorithm(FederatedAlgorithm):
     """Minimal algorithm that counts rounds and meters fake traffic."""
@@ -116,6 +131,23 @@ class TestRoundEngine:
         algo = _CountingAlgorithm(tiny_federation)
         history = algo.run(rounds=4, eval_every=2)
         assert [r.round_index for r in history.records] == [2, 4]
+
+    def test_final_round_always_evaluated_once(self, tiny_federation):
+        algo = _CountingAlgorithm(tiny_federation)
+        history = algo.run(rounds=5, eval_every=2)
+        assert [r.round_index for r in history.records] == [2, 4, 5]
+
+    def test_wall_time_accumulates_across_uneval_rounds(self, tiny_federation):
+        class _Sleepy(_CountingAlgorithm):
+            def run_round(self, participants):
+                time.sleep(0.02)
+                return super().run_round(participants)
+
+        algo = _Sleepy(tiny_federation)
+        history = algo.run(rounds=2, eval_every=2)
+        assert len(history.records) == 1
+        # both rounds' elapsed time lands on the single evaluated record
+        assert history.records[0].wall_time_s >= 0.04
 
     def test_history_continuation(self, tiny_federation):
         algo = _CountingAlgorithm(tiny_federation)

@@ -57,6 +57,15 @@ class TestStateSerialisation:
         # wire format is float32: tiny residue is truncated
         assert restored["w"][0] == np.float32(1.0 + 1e-10)
 
+    def test_lossless_roundtrip_with_dtype_none(self):
+        # dtype=None keeps native float64: the runtime relies on this to
+        # make parallel execution bit-identical to serial
+        state = {"w": np.array([1.0 + 1e-10]), "i": np.arange(3)}
+        restored = deserialize_state(serialize_state(state, dtype=None), dtype=None)
+        assert restored["w"].dtype == np.float64
+        assert restored["w"][0] == 1.0 + 1e-10
+        assert restored["i"].dtype == state["i"].dtype
+
     def test_model_roundtrip_through_wire(self):
         a = nn.build_model("mlp_small", 4, (3, 6, 6), feature_dim=8, rng=0)
         b = nn.build_model("mlp_small", 4, (3, 6, 6), feature_dim=8, rng=5)
