@@ -51,6 +51,15 @@ class FedProto(FederatedAlgorithm):
         self.config = config or FedProtoConfig()
         self.global_prototypes: Optional[np.ndarray] = None
 
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        if self.global_prototypes is None:
+            return {}
+        return {"global_prototypes": np.asarray(self.global_prototypes)}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        if "global_prototypes" in state:
+            self.global_prototypes = np.asarray(state["global_prototypes"]).copy()
+
     def run_round(self, participants: List[FLClient]) -> Dict[str, float]:
         cfg = self.config
         use_protos = self.global_prototypes is not None and cfg.proto_weight > 0

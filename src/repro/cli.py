@@ -82,6 +82,25 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-client task timeout; a timed-out client drops out of the round",
     )
+    run_p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="autosave exact-resume checkpoints to this file",
+    )
+    run_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="autosave cadence in rounds (with --checkpoint; default 1)",
+    )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint if it exists; the finished run is "
+        "bit-identical to one that never stopped",
+    )
     run_p.add_argument("--out", default=None, help="path for the history JSON")
     run_p.add_argument("--verbose", action="store_true")
 
@@ -94,6 +113,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
     setting = ExperimentSetting(
         dataset=args.dataset,
         partition=args.partition,
@@ -103,8 +125,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_workers=args.max_workers,
         task_timeout_s=args.task_timeout_s,
+        checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
+        checkpoint_path=args.checkpoint,
     )
-    history = run_algorithm(setting, args.algorithm, rounds=args.rounds)
+    history = run_algorithm(
+        setting, args.algorithm, rounds=args.rounds, resume=args.resume
+    )
     last = history.records[-1]
     print(
         f"{args.algorithm} on {args.dataset}/{args.partition}: "

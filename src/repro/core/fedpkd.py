@@ -122,6 +122,18 @@ class FedPKD(FederatedAlgorithm):
         self.global_prototypes: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
+    # cross-round state (checkpointing)
+    # ------------------------------------------------------------------
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        if self.global_prototypes is None:
+            return {}
+        return {"global_prototypes": np.asarray(self.global_prototypes)}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        if "global_prototypes" in state:
+            self.global_prototypes = np.asarray(state["global_prototypes"]).copy()
+
+    # ------------------------------------------------------------------
     # round phases
     # ------------------------------------------------------------------
     def _client_local_phase(self, participants: List[FLClient]) -> None:

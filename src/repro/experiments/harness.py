@@ -8,6 +8,7 @@ or the full paper configuration (``paper``) given enough compute.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -15,6 +16,7 @@ import numpy as np
 
 from ..algorithms import algorithm_supports, build_algorithm
 from ..data.datasets import FederatedDataBundle, make_task
+from ..fl.checkpoint import load_checkpoint, load_history
 from ..fl.config import FederationConfig
 from ..fl.metrics import RunHistory
 from ..fl.simulation import build_federation
@@ -95,6 +97,9 @@ class ExperimentSetting:
     executor: str = "serial"
     max_workers: Optional[int] = None
     task_timeout_s: Optional[float] = None
+    # exact-resume autosave (see repro.fl.checkpoint / docs/CHECKPOINT.md)
+    checkpoint_every: int = 0
+    checkpoint_path: Optional[str] = None
 
     def scale_config(self) -> ScaleConfig:
         base = SCALES[self.scale].sized_for(self.dataset)
@@ -181,6 +186,8 @@ def federation_for(
         executor=setting.executor,
         max_workers=setting.max_workers,
         task_timeout_s=setting.task_timeout_s,
+        checkpoint_every=setting.checkpoint_every,
+        checkpoint_path=setting.checkpoint_path,
     )
     return build_federation(bundle, config)
 
@@ -191,9 +198,16 @@ def run_algorithm(
     bundle: Optional[FederatedDataBundle] = None,
     rounds: Optional[int] = None,
     eval_every: int = 1,
+    resume: bool = False,
     **config_overrides,
 ) -> RunHistory:
-    """Run one algorithm under a setting and return its history."""
+    """Run one algorithm under a setting and return its history.
+
+    With ``resume=True`` and an existing ``setting.checkpoint_path`` file,
+    the full training state (weights, RNG streams, comm ledgers, history)
+    is restored and only the remaining rounds run — bit-identical to having
+    never stopped.  A missing checkpoint file starts from scratch.
+    """
     sc = setting.scale_config()
     federation = federation_for(setting, algorithm, bundle)
     algo = build_algorithm(
@@ -203,7 +217,22 @@ def run_algorithm(
         epoch_scale=sc.epoch_scale,
         **config_overrides,
     )
-    history = algo.run(rounds or sc.rounds, eval_every=eval_every)
+    total_rounds = rounds or sc.rounds
+    history: Optional[RunHistory] = None
+    rounds_done = 0
+    if resume:
+        if not setting.checkpoint_path:
+            raise ValueError("resume=True requires setting.checkpoint_path")
+        if os.path.exists(setting.checkpoint_path):
+            rounds_done = load_checkpoint(algo, setting.checkpoint_path)
+            history = load_history(setting.checkpoint_path)
+    remaining = max(0, total_rounds - rounds_done)
+    if remaining > 0:
+        history = algo.run(remaining, eval_every=eval_every, history=history)
+    elif history is None:
+        history = RunHistory(
+            algo.name, dataset=setting.dataset, config={"rounds": total_rounds}
+        )
     history.dataset = setting.dataset
     history.config.update(
         {

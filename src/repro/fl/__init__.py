@@ -1,6 +1,12 @@
 """Federated-learning simulation framework: clients, server, channel, engine."""
 
 from .channel import ChannelSnapshot, CommChannel
+from .checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    load_history,
+    save_checkpoint,
+)
 from .client import FLClient
 from .config import FederationConfig, TrainingConfig
 from .failures import DropoutLog, ParticipationSampler, RuntimeDropout
@@ -18,6 +24,10 @@ from .training import (
 __all__ = [
     "CommChannel",
     "ChannelSnapshot",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_history",
     "FLClient",
     "FLServer",
     "FederationConfig",

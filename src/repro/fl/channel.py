@@ -104,3 +104,29 @@ class CommChannel:
         self._uplink.clear()
         self._downlink.clear()
         self._round_marks.clear()
+
+    # ------------------------------------------------------------------
+    # persistence (exact-resume checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serialisable ledger state (per-client totals + round marks)."""
+        return {
+            "uplink": {str(cid): b for cid, b in self._uplink.items()},
+            "downlink": {str(cid): b for cid, b in self._downlink.items()},
+            "round_marks": [[s.uplink, s.downlink] for s in self._round_marks],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore ledgers saved by :meth:`state_dict`.
+
+        Resuming with a zeroed ledger silently corrupts every cumulative-MB
+        result, so checkpoints must restore this, not reset it.
+        """
+        self._uplink = {int(cid): int(b) for cid, b in state["uplink"].items()}
+        self._downlink = {
+            int(cid): int(b) for cid, b in state["downlink"].items()
+        }
+        self._round_marks = [
+            ChannelSnapshot(uplink=int(u), downlink=int(d))
+            for u, d in state["round_marks"]
+        ]

@@ -1,92 +1,325 @@
-"""Checkpointing: persist and resume a federated training run.
+"""Crash-safe, versioned, exact-resume checkpointing.
 
-Long FL runs (the paper's 70 rounds) need restartability.  A checkpoint
-captures every client model, the server model, the round counter, and any
-algorithm-specific state (e.g. FedPKD's global prototypes) in a single
-``.npz`` file.
+The paper's headline numbers are *cumulative* (MB-to-target-accuracy, Table
+I / Fig. 3), so a resumed run must be **bit-identical** to an uninterrupted
+one — the same determinism contract the parallel runtime already honours.
+A checkpoint therefore captures everything that carries across rounds:
+
+- every client model and the (optional) server model;
+- per-client RNG streams, the server/algorithm RNGs, and the
+  :class:`~repro.fl.failures.ParticipationSampler` RNG;
+- the :class:`~repro.fl.channel.CommChannel` ledgers and round marks
+  (zeroing these silently corrupts every cumulative-MB result);
+- the :class:`~repro.fl.metrics.RunHistory` recorded so far and the
+  :class:`~repro.fl.failures.DropoutLog`;
+- algorithm-specific cross-round state via the
+  :meth:`~repro.fl.simulation.FederatedAlgorithm.extra_state` hook
+  (FedPKD / FedProto global prototypes, ...).
+
+Writes are atomic (tmp file + ``os.replace``), so an interrupted save
+leaves the previous checkpoint intact.  Files carry a format version and a
+config/architecture fingerprint (per-client parameter keys and shapes)
+validated on load; a corrupt, truncated, or mismatched file raises
+:class:`CheckpointError` with a precise message, never a numpy traceback.
 
 Usage::
 
-    save_checkpoint(algo, "run.npz")
+    save_checkpoint(algo, "run.ckpt.npz", history=history)
     ...
     algo2 = build_algorithm("fedpkd", fresh_federation)
-    load_checkpoint(algo2, "run.npz")   # weights + round + prototypes restored
-    algo2.run(rounds=remaining)
+    done = load_checkpoint(algo2, "run.ckpt.npz")
+    history = load_history("run.ckpt.npz")
+    algo2.run(rounds=total - done, history=history)   # bit-identical tail
+
+or let the round engine autosave via ``algo.run(..., checkpoint_every=5,
+checkpoint_path="run.ckpt.npz")`` (see docs/CHECKPOINT.md).
 """
 
 from __future__ import annotations
 
-import io
+import copy
+import json
 import os
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
+from .metrics import RunHistory
 from .simulation import FederatedAlgorithm
 
-__all__ = ["save_checkpoint", "load_checkpoint", "algorithm_state", "load_algorithm_state"]
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "load_history",
+    "read_checkpoint_meta",
+    "algorithm_state",
+    "load_algorithm_state",
+]
 
-_META_PREFIX = "__meta__"
+#: Bump whenever the on-disk layout changes.  Version 1 was the legacy
+#: weights-only format (no RNG/channel/history state); it is refused on
+#: load because resuming from it would violate the exact-resume contract.
+CHECKPOINT_FORMAT_VERSION = 2
+
+_META_VERSION = "__meta__format_version"
+_META_JSON = "__meta__json"
 _CLIENT_PREFIX = "client{cid}::"
 _SERVER_PREFIX = "server::"
 _ALGO_PREFIX = "algo::"
 
 
+class CheckpointError(ValueError):
+    """A checkpoint file is corrupt, unversioned, or does not match the
+    federation it is being loaded into."""
+
+
+# ----------------------------------------------------------------------
+# algorithm-specific state (delegates to the per-algorithm hook)
+# ----------------------------------------------------------------------
 def algorithm_state(algo: FederatedAlgorithm) -> Dict[str, np.ndarray]:
-    """Extract algorithm-specific arrays worth persisting.
-
-    Currently understands FedPKD-style ``global_prototypes``; other
-    algorithms contribute nothing (their state is entirely in the models).
-    """
-    state: Dict[str, np.ndarray] = {}
-    protos = getattr(algo, "global_prototypes", None)
-    if protos is not None:
-        state["global_prototypes"] = np.asarray(protos)
-    return state
+    """Arrays the algorithm carries across rounds (its ``extra_state``)."""
+    return {key: np.asarray(value) for key, value in algo.extra_state().items()}
 
 
-def load_algorithm_state(algo: FederatedAlgorithm, state: Dict[str, np.ndarray]) -> None:
+def load_algorithm_state(
+    algo: FederatedAlgorithm, state: Dict[str, np.ndarray]
+) -> None:
     """Inverse of :func:`algorithm_state`."""
-    if "global_prototypes" in state and hasattr(algo, "global_prototypes"):
-        algo.global_prototypes = state["global_prototypes"].copy()
+    algo.load_extra_state(state)
 
 
-def save_checkpoint(algo: FederatedAlgorithm, path: str) -> None:
-    """Write the algorithm's full training state to ``path`` (npz)."""
-    arrays: Dict[str, np.ndarray] = {
-        f"{_META_PREFIX}round_index": np.array(algo.round_index, dtype=np.int64),
-        f"{_META_PREFIX}num_clients": np.array(len(algo.clients), dtype=np.int64),
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _json_default(value: Any):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"unserialisable checkpoint metadata of type {type(value)!r}")
+
+
+def _rng_state(rng: np.random.Generator) -> dict:
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def _set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    rng.bit_generator.state = copy.deepcopy(state)
+
+
+def _model_fingerprint(model) -> Dict[str, list]:
+    return {
+        key: list(np.asarray(value).shape)
+        for key, value in model.state_dict().items()
     }
+
+
+def _fingerprint(algo: FederatedAlgorithm) -> dict:
+    return {
+        "algorithm": algo.name,
+        "clients": {
+            str(client.client_id): {
+                "model_name": client.model_name,
+                "params": _model_fingerprint(client.model),
+            }
+            for client in algo.clients
+        },
+        "server": (
+            _model_fingerprint(algo.server.model) if algo.server.has_model else None
+        ),
+    }
+
+
+def _validate_fingerprint(meta: dict, algo: FederatedAlgorithm, path: str) -> None:
+    saved = meta["fingerprint"]
+    if saved["algorithm"] != algo.name:
+        raise CheckpointError(
+            f"checkpoint '{path}' was written by algorithm "
+            f"'{saved['algorithm']}', cannot resume '{algo.name}'"
+        )
+    saved_clients = saved["clients"]
+    if len(saved_clients) != len(algo.clients):
+        raise CheckpointError(
+            f"checkpoint has {len(saved_clients)} clients, federation has "
+            f"{len(algo.clients)}"
+        )
+    for client in algo.clients:
+        cid = str(client.client_id)
+        if cid not in saved_clients:
+            raise CheckpointError(
+                f"checkpoint has no state for client {client.client_id}"
+            )
+        saved_params = saved_clients[cid]["params"]
+        live_params = _model_fingerprint(client.model)
+        saved_name = saved_clients[cid].get("model_name")
+        hint = (
+            f" (checkpoint model '{saved_name}', federation model "
+            f"'{client.model_name}')"
+            if saved_name != client.model_name
+            else ""
+        )
+        for key in saved_params:
+            if key not in live_params:
+                raise CheckpointError(
+                    f"client {client.client_id}: checkpoint parameter '{key}' "
+                    f"missing from the federation's model{hint}"
+                )
+            if list(saved_params[key]) != list(live_params[key]):
+                raise CheckpointError(
+                    f"client {client.client_id} parameter '{key}': checkpoint "
+                    f"shape {tuple(saved_params[key])} vs federation shape "
+                    f"{tuple(live_params[key])}{hint}"
+                )
+        for key in live_params:
+            if key not in saved_params:
+                raise CheckpointError(
+                    f"client {client.client_id}: federation parameter '{key}' "
+                    f"missing from the checkpoint{hint}"
+                )
+    if saved["server"] is not None and not algo.server.has_model:
+        raise CheckpointError(
+            "checkpoint contains a server model; federation has none"
+        )
+    if saved["server"] is None and algo.server.has_model:
+        raise CheckpointError(
+            "federation has a server model; checkpoint contains none"
+        )
+    if saved["server"] is not None:
+        live_server = _model_fingerprint(algo.server.model)
+        for key, shape in saved["server"].items():
+            if key not in live_server or list(shape) != list(live_server[key]):
+                raise CheckpointError(
+                    f"server parameter '{key}': checkpoint shape "
+                    f"{tuple(shape)} vs federation "
+                    f"{tuple(live_server.get(key, ()))}"
+                )
+
+
+# ----------------------------------------------------------------------
+# save
+# ----------------------------------------------------------------------
+def save_checkpoint(
+    algo: FederatedAlgorithm, path: str, history: Optional[RunHistory] = None
+) -> None:
+    """Atomically write the algorithm's full training state to ``path``.
+
+    The file is an ``.npz`` archive (model/extra-state arrays plus one JSON
+    metadata blob).  Passing ``history`` persists the run records so far, so
+    a resumed run reproduces the complete uninterrupted history.  The write
+    goes to a temporary sibling file first and is moved into place with
+    ``os.replace``; a crash mid-write leaves any previous checkpoint at
+    ``path`` untouched.
+    """
+    arrays: Dict[str, np.ndarray] = {}
     for client in algo.clients:
         prefix = _CLIENT_PREFIX.format(cid=client.client_id)
         for key, value in client.model.state_dict().items():
-            arrays[prefix + key] = value
+            arrays[prefix + key] = np.asarray(value)
     if algo.server.has_model:
         for key, value in algo.server.model.state_dict().items():
-            arrays[_SERVER_PREFIX + key] = value
+            arrays[_SERVER_PREFIX + key] = np.asarray(value)
     for key, value in algorithm_state(algo).items():
         arrays[_ALGO_PREFIX + key] = value
-    with open(path, "wb") as f:
-        np.savez(f, **arrays)
+
+    meta = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "round_index": int(algo.round_index),
+        "num_clients": len(algo.clients),
+        "fingerprint": _fingerprint(algo),
+        "rng": {
+            "algorithm": _rng_state(algo.rng),
+            "server": _rng_state(algo.server.rng),
+            "participation": algo.federation.participation.state_dict(),
+            "clients": {
+                str(client.client_id): client.rng_state()
+                for client in algo.clients
+            },
+        },
+        "channel": algo.channel.state_dict(),
+        "dropout_log": algo.dropout_log.state_dict(),
+        "history": history.to_dict() if history is not None else None,
+    }
+    blob = json.dumps(meta, default=_json_default).encode("utf-8")
+    arrays[_META_JSON] = np.frombuffer(blob, dtype=np.uint8)
+    arrays[_META_VERSION] = np.array(CHECKPOINT_FORMAT_VERSION, dtype=np.int64)
+
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as f:
+            np.savez(f, **arrays)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# load
+# ----------------------------------------------------------------------
+def _read_archive(path: str):
+    """Read and sanity-check a checkpoint; returns ``(arrays, meta)``."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    try:
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+    except Exception as exc:
+        raise CheckpointError(
+            f"'{path}' is not a readable checkpoint (corrupt or truncated "
+            f"file): {exc}"
+        ) from None
+    if _META_VERSION not in arrays or _META_JSON not in arrays:
+        raise CheckpointError(
+            f"'{path}' carries no format version — it is not a checkpoint "
+            f"written by this format (>= v{CHECKPOINT_FORMAT_VERSION}); "
+            "legacy weights-only files cannot be resumed exactly"
+        )
+    version = int(arrays[_META_VERSION])
+    if version > CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"'{path}' has format version {version}; this build reads up to "
+            f"v{CHECKPOINT_FORMAT_VERSION}"
+        )
+    try:
+        meta = json.loads(arrays[_META_JSON].tobytes().decode("utf-8"))
+    except Exception as exc:
+        raise CheckpointError(
+            f"'{path}' has an unreadable metadata block: {exc}"
+        ) from None
+    return arrays, meta
+
+
+def read_checkpoint_meta(path: str) -> dict:
+    """Return a checkpoint's metadata (round, fingerprint, ...) without
+    touching any model weights."""
+    _, meta = _read_archive(path)
+    return meta
+
+
+def load_history(path: str) -> Optional[RunHistory]:
+    """Return the :class:`RunHistory` stored in a checkpoint, if any."""
+    _, meta = _read_archive(path)
+    payload = meta.get("history")
+    return RunHistory.from_dict(payload) if payload else None
 
 
 def load_checkpoint(algo: FederatedAlgorithm, path: str) -> int:
     """Restore training state saved by :func:`save_checkpoint`.
 
-    The federation must be structurally identical (same client count and
-    model architectures).  Returns the restored round index.
+    Validates the format version and the architecture fingerprint (client
+    count, per-client parameter keys and shapes) *before* mutating anything,
+    then restores model weights, every RNG stream, the communication
+    ledgers, the dropout log, and algorithm extra state.  Returns the
+    restored round index.
     """
-    if not os.path.exists(path):
-        raise FileNotFoundError(path)
-    with np.load(path) as archive:
-        arrays = {k: archive[k] for k in archive.files}
-
-    saved_clients = int(arrays[f"{_META_PREFIX}num_clients"])
-    if saved_clients != len(algo.clients):
-        raise ValueError(
-            f"checkpoint has {saved_clients} clients, federation has "
-            f"{len(algo.clients)}"
-        )
+    arrays, meta = _read_archive(path)
+    _validate_fingerprint(meta, algo, path)
 
     for client in algo.clients:
         prefix = _CLIENT_PREFIX.format(cid=client.client_id)
@@ -97,14 +330,12 @@ def load_checkpoint(algo: FederatedAlgorithm, path: str) -> int:
         }
         client.model.load_state_dict(state)
 
-    server_state = {
-        key[len(_SERVER_PREFIX):]: value
-        for key, value in arrays.items()
-        if key.startswith(_SERVER_PREFIX)
-    }
-    if server_state:
-        if not algo.server.has_model:
-            raise ValueError("checkpoint contains a server model; federation has none")
+    if algo.server.has_model:
+        server_state = {
+            key[len(_SERVER_PREFIX):]: value
+            for key, value in arrays.items()
+            if key.startswith(_SERVER_PREFIX)
+        }
         algo.server.model.load_state_dict(server_state)
 
     algo_state = {
@@ -114,5 +345,14 @@ def load_checkpoint(algo: FederatedAlgorithm, path: str) -> int:
     }
     load_algorithm_state(algo, algo_state)
 
-    algo.round_index = int(arrays[f"{_META_PREFIX}round_index"])
+    rng_meta = meta["rng"]
+    _set_rng_state(algo.rng, rng_meta["algorithm"])
+    _set_rng_state(algo.server.rng, rng_meta["server"])
+    algo.federation.participation.load_state_dict(rng_meta["participation"])
+    for client in algo.clients:
+        client.set_rng_state(rng_meta["clients"][str(client.client_id)])
+
+    algo.channel.load_state_dict(meta["channel"])
+    algo.dropout_log.load_state_dict(meta["dropout_log"])
+    algo.round_index = int(meta["round_index"])
     return algo.round_index

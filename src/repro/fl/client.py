@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, Optional
 
 import numpy as np
@@ -47,6 +48,16 @@ class FLClient:
         self.y_test = np.asarray(y_test, dtype=np.int64)
         self.num_classes = num_classes
         self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # RNG stream (checkpointing and the parallel runtime move it around)
+    # ------------------------------------------------------------------
+    def rng_state(self) -> dict:
+        """A copy of the local RNG stream state (batch-shuffling order)."""
+        return copy.deepcopy(self.rng.bit_generator.state)
+
+    def set_rng_state(self, state: dict) -> None:
+        self.rng.bit_generator.state = copy.deepcopy(state)
 
     # ------------------------------------------------------------------
     # data facts

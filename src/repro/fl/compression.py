@@ -65,6 +65,17 @@ def quantize(array: np.ndarray, scheme: str = "int8") -> QuantizedTensor:
             data=array.astype(np.float16).tobytes(), shape=array.shape, scheme=scheme
         )
     if scheme == "int8":
+        if array.size == 0:
+            # zero-row logit matrices are reachable (e.g. prototype-based
+            # filtering rejecting every public sample); reshape/min below
+            # both choke on them, so encode an explicitly empty tensor
+            return QuantizedTensor(
+                data=b"",
+                shape=array.shape,
+                scheme=scheme,
+                scale=np.zeros(0, dtype=np.float32),
+                zero=np.zeros(0, dtype=np.float32),
+            )
         flat = array.reshape(array.shape[0], -1) if array.ndim > 1 else array.reshape(1, -1)
         lo = flat.min(axis=1)
         hi = flat.max(axis=1)
@@ -90,6 +101,8 @@ def dequantize(qt: QuantizedTensor) -> np.ndarray:
     if qt.scheme == "float16":
         return np.frombuffer(qt.data, dtype=np.float16).reshape(qt.shape).astype(np.float64)
     if qt.scheme == "int8":
+        if int(np.prod(qt.shape)) == 0:
+            return np.zeros(qt.shape, dtype=np.float64)
         rows = qt.shape[0] if len(qt.shape) > 1 else 1
         flat = np.frombuffer(qt.data, dtype=np.uint8).reshape(rows, -1).astype(np.float64)
         restored = flat * qt.scale[:, None].astype(np.float64) + qt.zero[:, None].astype(

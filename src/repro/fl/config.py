@@ -70,6 +70,14 @@ class FederationConfig:
         dropout for that round.  ``None`` disables the deadline.
     task_retries:
         Extra attempts granted to a task after a timeout or worker death.
+    checkpoint_every:
+        Autosave cadence in rounds for exact-resume checkpoints (0 = off).
+        Saves also fire on the final round, so an interrupted run can always
+        restart from its last completed multiple.
+    checkpoint_path:
+        Destination file for autosaved checkpoints (atomic writes; see
+        :mod:`repro.fl.checkpoint`).  Required when ``checkpoint_every`` is
+        set.
     """
 
     num_clients: int = 8
@@ -84,6 +92,8 @@ class FederationConfig:
     max_workers: Optional[int] = None
     task_timeout_s: Optional[float] = None
     task_retries: int = 1
+    checkpoint_every: int = 0
+    checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -101,6 +111,12 @@ class FederationConfig:
             raise ValueError("task_timeout_s must be positive")
         if self.task_retries < 0:
             raise ValueError("task_retries must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_every > 0 and not self.checkpoint_path:
+            raise ValueError("checkpoint_every requires a checkpoint_path")
 
     def client_model_names(self) -> List[str]:
         """Resolve per-client model names (cycling a heterogeneous list)."""

@@ -18,6 +18,7 @@ Two failure surfaces exist:
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -77,6 +78,13 @@ class ParticipationSampler:
             available.extend(int(cid) for cid in extra)
         return sorted(available)
 
+    def state_dict(self) -> dict:
+        """RNG stream state — the only thing that carries across rounds."""
+        return {"rng": copy.deepcopy(self.rng.bit_generator.state)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rng.bit_generator.state = copy.deepcopy(state["rng"])
+
 
 @dataclass
 class RuntimeDropout:
@@ -112,3 +120,17 @@ class DropoutLog:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    def state_dict(self) -> dict:
+        return {
+            "events": [
+                [e.round_index, e.client_id, e.stage, e.reason]
+                for e in self.events
+            ]
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.events = [
+            RuntimeDropout(int(r), int(cid), stage, reason)
+            for r, cid, stage, reason in state["events"]
+        ]

@@ -131,3 +131,8 @@ class RunHistory:
         for raw in payload.get("records", []):
             history.append(RoundRecord(**raw))
         return history
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunHistory":
+        """Inverse of :meth:`to_json` (NaN accuracies round-trip intact)."""
+        return cls.from_dict(json.loads(text))

@@ -46,6 +46,8 @@ class Federation:
         channel: CommChannel,
         participation: ParticipationSampler,
         executor: Optional[Executor] = None,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
     ) -> None:
         self.clients = clients
         self.server = server
@@ -53,6 +55,9 @@ class Federation:
         self.channel = channel
         self.participation = participation
         self.executor = (executor or SerialExecutor()).bind(self)
+        # autosave defaults inherited by FederatedAlgorithm.run()
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
 
     @property
     def num_clients(self) -> int:
@@ -139,6 +144,8 @@ def build_federation(
         CommChannel(),
         participation,
         executor=make_executor(config),
+        checkpoint_every=config.checkpoint_every,
+        checkpoint_path=config.checkpoint_path,
     )
 
 
@@ -230,6 +237,22 @@ class FederatedAlgorithm:
         """Execute one communication round; return optional extra metrics."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # algorithm-specific cross-round state (exact-resume checkpointing)
+    # ------------------------------------------------------------------
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        """Arrays carried across rounds outside the models.
+
+        Algorithms with server-side memory (FedPKD / FedProto global
+        prototypes, aggregated soft labels, ...) must override this and
+        :meth:`load_extra_state`, or a resumed run silently diverges from
+        an uninterrupted one.  The default is stateless.
+        """
+        return {}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`extra_state`."""
+
     def evaluate_server(self) -> float:
         return self.server.evaluate(self.bundle.test.x, self.bundle.test.y)
 
@@ -242,13 +265,33 @@ class FederatedAlgorithm:
         eval_every: int = 1,
         history: Optional[RunHistory] = None,
         verbose: bool = False,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
     ) -> RunHistory:
         """Run ``rounds`` communication rounds, recording metrics.
 
         Evaluation happens every ``eval_every`` rounds and always on the
         final round.  An existing ``history`` may be passed to continue a
-        run.
+        run (a resumed run passes the history restored from the
+        checkpoint).
+
+        ``checkpoint_every`` / ``checkpoint_path`` enable autosave: every
+        that-many rounds (and on the final round) the full training state —
+        including ``history`` so far — is written atomically to
+        ``checkpoint_path`` via :func:`repro.fl.checkpoint.save_checkpoint`.
+        Both default to the federation's configured values
+        (:class:`~repro.fl.config.FederationConfig`).  For bit-exact record
+        alignment on resume, keep ``checkpoint_every`` a multiple of
+        ``eval_every`` so no partially accumulated extras span the save.
         """
+        if checkpoint_every is None:
+            checkpoint_every = getattr(self.federation, "checkpoint_every", 0)
+        if checkpoint_path is None:
+            checkpoint_path = getattr(self.federation, "checkpoint_path", None)
+        autosave = bool(checkpoint_every and checkpoint_every > 0 and checkpoint_path)
+        if autosave:
+            # imported here: checkpoint.py imports this module at top level
+            from .checkpoint import save_checkpoint
         if history is None:
             history = RunHistory(
                 self.name, dataset=self.bundle.name, config={"rounds": rounds}
@@ -298,4 +341,8 @@ class FederatedAlgorithm:
                         f"C_acc={record.mean_client_acc:.3f} "
                         f"comm={record.comm_total_mb:.2f}MB"
                     )
+            if autosave and (
+                final_round or self.round_index % checkpoint_every == 0
+            ):
+                save_checkpoint(self, checkpoint_path, history=history)
         return history

@@ -16,7 +16,12 @@ __all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
 
 
 class Optimizer:
-    """Base optimiser holding a parameter list."""
+    """Base optimiser holding a parameter list.
+
+    ``initial_lr`` records the construction-time learning rate and never
+    changes; schedulers use it to recover the true base lr even after
+    another scheduler (e.g. a warmup) has rewritten ``lr``.
+    """
 
     def __init__(self, params: List[Tensor], lr: float) -> None:
         if lr <= 0:
@@ -25,6 +30,7 @@ class Optimizer:
         if not self.params:
             raise ValueError("optimizer received an empty parameter list")
         self.lr = lr
+        self.initial_lr = lr
 
     def zero_grad(self) -> None:
         for p in self.params:
@@ -32,6 +38,25 @@ class Optimizer:
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # persistence (exact-resume checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serialisable snapshot of the optimiser's mutable state."""
+        return {"lr": self.lr, "initial_lr": self.initial_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state saved by :meth:`state_dict` (same parameter list)."""
+        self.lr = float(state["lr"])
+        self.initial_lr = float(state.get("initial_lr", self.initial_lr))
+
+    def _check_buffer_count(self, name: str, buffers) -> None:
+        if len(buffers) != len(self.params):
+            raise ValueError(
+                f"optimizer state '{name}' has {len(buffers)} entries for "
+                f"{len(self.params)} parameters"
+            )
 
 
 class SGD(Optimizer):
@@ -62,6 +87,23 @@ class SGD(Optimizer):
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             p.data = p.data - self.lr * grad
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [
+            None if v is None else v.copy() for v in self._velocity
+        ]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        velocity = state.get("velocity")
+        if velocity is not None:
+            self._check_buffer_count("velocity", velocity)
+            self._velocity = [
+                None if v is None else np.array(v, dtype=np.float64)
+                for v in velocity
+            ]
 
 
 class Adam(Optimizer):
@@ -98,6 +140,23 @@ class Adam(Optimizer):
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        state["t"] = self._t
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if "m" in state:
+            self._check_buffer_count("m", state["m"])
+            self._m = [np.array(m, dtype=np.float64) for m in state["m"]]
+        if "v" in state:
+            self._check_buffer_count("v", state["v"])
+            self._v = [np.array(v, dtype=np.float64) for v in state["v"]]
+        self._t = int(state.get("t", self._t))
 
 
 def clip_grad_norm(params: List[Tensor], max_norm: float) -> float:

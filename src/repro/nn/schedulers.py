@@ -16,22 +16,54 @@ __all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupLR"]
 
 
 class LRScheduler:
-    """Base scheduler: tracks epochs and rewrites ``optimizer.lr``."""
+    """Base scheduler: tracks epochs and rewrites ``optimizer.lr``.
+
+    ``base_lr`` is captured robustly: a scheduler that has already rewritten
+    ``optimizer.lr`` (e.g. :class:`WarmupLR` applies its start factor at
+    construction) leaves ``optimizer.scheduled_base_lr`` behind, and a
+    later-constructed scheduler picks the true base up from there instead
+    of the already-scaled ``optimizer.lr``.  A warmup→cosine chain therefore
+    decays from the real base lr, not the warmup-scaled one.
+    """
 
     def __init__(self, optimizer: Optimizer) -> None:
         self.optimizer = optimizer
-        self.base_lr = optimizer.lr
+        self.base_lr = float(
+            getattr(optimizer, "scheduled_base_lr", optimizer.lr)
+        )
         self.epoch = 0
 
     def get_lr(self) -> float:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def _apply_lr(self, new_lr: float) -> None:
+        """Write ``optimizer.lr``, leaving the base-lr breadcrumb behind."""
+        self.optimizer.lr = new_lr
+        self.optimizer.scheduled_base_lr = self.base_lr
+
     def step(self) -> float:
         """Advance one epoch; returns the new learning rate."""
         self.epoch += 1
         new_lr = self.get_lr()
-        self.optimizer.lr = new_lr
+        self._apply_lr(new_lr)
         return new_lr
+
+    # ------------------------------------------------------------------
+    # persistence (exact-resume checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Every attribute except the optimiser reference."""
+        return {k: v for k, v in self.__dict__.items() if k != "optimizer"}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state and re-apply the restored epoch's learning rate."""
+        for key, value in state.items():
+            if key != "optimizer":
+                setattr(self, key, value)
+        try:
+            self._apply_lr(self.get_lr())
+        except NotImplementedError:  # bare base-class instance
+            pass
 
 
 class StepLR(LRScheduler):
@@ -78,8 +110,10 @@ class WarmupLR(LRScheduler):
         super().__init__(optimizer)
         self.warmup_epochs = warmup_epochs
         self.start_factor = start_factor
-        # apply the initial warmup factor immediately
-        optimizer.lr = self.base_lr * start_factor
+        # apply the initial warmup factor immediately; _apply_lr records the
+        # unscaled base so later-constructed schedulers capture it, not the
+        # warmup-scaled lr
+        self._apply_lr(self.base_lr * start_factor)
 
     def get_lr(self) -> float:
         if self.epoch >= self.warmup_epochs:

@@ -24,7 +24,6 @@ the rest of the stage rather than aborting the run.
 
 from __future__ import annotations
 
-import copy
 import os
 import time
 import warnings
@@ -219,7 +218,7 @@ class ParallelExecutor(Executor):
             method=method,
             kwargs=kwargs,
             state_blob=serialize_state(client.model.state_dict(), dtype=None),
-            rng_state=copy.deepcopy(client.rng.bit_generator.state),
+            rng_state=client.rng_state(),
             stage=stage,
         )
 
@@ -230,7 +229,7 @@ class ParallelExecutor(Executor):
                 deserialize_state(result.state_blob, dtype=None)
             )
         if result.rng_state is not None:
-            client.rng.bit_generator.state = result.rng_state
+            client.set_rng_state(result.rng_state)
 
     # ------------------------------------------------------------------
     # the stage

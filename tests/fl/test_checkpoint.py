@@ -1,17 +1,27 @@
-"""Tests for checkpoint save/resume."""
+"""Tests for checkpoint save/resume: state coverage, validation, crash safety."""
+
+import json
+import os
 
 import numpy as np
 import pytest
 
 from repro.algorithms import build_algorithm
 from repro.core import FedPKD
-from repro.fl.checkpoint import load_checkpoint, save_checkpoint
+from repro.fl.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    load_history,
+    read_checkpoint_meta,
+    save_checkpoint,
+)
 
 from ..conftest import make_tiny_federation
 
 
-def make_algo(bundle, seed=0):
-    fed = make_tiny_federation(bundle, server_model="mlp_medium", seed=seed)
+def make_algo(bundle, seed=0, **fed_kwargs):
+    fed = make_tiny_federation(bundle, server_model="mlp_medium", seed=seed, **fed_kwargs)
     return build_algorithm("fedpkd", fed, seed=seed, epoch_scale=0.1)
 
 
@@ -54,6 +64,67 @@ class TestCheckpoint:
             fresh.global_prototypes[finite], algo.global_prototypes[finite], atol=1e-6
         )
 
+    def test_rng_streams_restored(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle, dropout_prob=0.3)
+        algo.run(rounds=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+
+        fresh = make_algo(tiny_bundle, seed=0, dropout_prob=0.3)
+        load_checkpoint(fresh, path)
+        assert fresh.rng.bit_generator.state == algo.rng.bit_generator.state
+        assert (
+            fresh.server.rng.bit_generator.state
+            == algo.server.rng.bit_generator.state
+        )
+        assert (
+            fresh.federation.participation.rng.bit_generator.state
+            == algo.federation.participation.rng.bit_generator.state
+        )
+        for a, b in zip(fresh.clients, algo.clients):
+            assert a.rng_state() == b.rng_state()
+
+    def test_channel_ledger_restored(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle)
+        algo.run(rounds=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+
+        fresh = make_algo(tiny_bundle, seed=0)
+        assert fresh.channel.total_bytes == 0
+        load_checkpoint(fresh, path)
+        assert fresh.channel.total_bytes == algo.channel.total_bytes > 0
+        assert fresh.channel.per_client_mb() == algo.channel.per_client_mb()
+        assert [
+            (s.uplink, s.downlink) for s in fresh.channel.round_marks
+        ] == [(s.uplink, s.downlink) for s in algo.channel.round_marks]
+
+    def test_history_roundtrips_through_checkpoint(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle)
+        history = algo.run(rounds=2)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path, history=history)
+
+        restored = load_history(path)
+        assert restored is not None
+        assert restored.to_dict() == history.to_dict()
+
+    def test_load_history_none_when_absent(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+        assert load_history(path) is None
+
+    def test_read_checkpoint_meta(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle)
+        algo.run(rounds=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+        meta = read_checkpoint_meta(path)
+        assert meta["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert meta["round_index"] == 1
+        assert meta["fingerprint"]["algorithm"] == "fedpkd"
+
     def test_resumed_run_continues(self, tiny_bundle, tmp_path):
         algo = make_algo(tiny_bundle)
         history = algo.run(rounds=1)
@@ -64,18 +135,6 @@ class TestCheckpoint:
         load_checkpoint(fresh, path)
         resumed = fresh.run(rounds=1)
         assert resumed.records[-1].round_index == 2
-
-    def test_client_count_mismatch_rejected(self, tiny_bundle, tmp_path):
-        algo = make_algo(tiny_bundle)
-        path = str(tmp_path / "ckpt.npz")
-        save_checkpoint(algo, path)
-
-        fed = make_tiny_federation(
-            tiny_bundle, num_clients=4, server_model="mlp_medium"
-        )
-        other = build_algorithm("fedpkd", fed, epoch_scale=0.1)
-        with pytest.raises(ValueError):
-            load_checkpoint(other, path)
 
     def test_missing_file(self, tiny_bundle):
         algo = make_algo(tiny_bundle)
@@ -92,3 +151,169 @@ class TestCheckpoint:
         fresh_fed = make_tiny_federation(tiny_bundle, server_model=None)
         fresh = build_algorithm("fedmd", fresh_fed, epoch_scale=0.1)
         assert load_checkpoint(fresh, path) == 1
+
+
+class TestFingerprintValidation:
+    def test_client_count_mismatch_rejected(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+
+        fed = make_tiny_federation(
+            tiny_bundle, num_clients=4, server_model="mlp_medium"
+        )
+        other = build_algorithm("fedpkd", fed, epoch_scale=0.1)
+        with pytest.raises(ValueError):
+            load_checkpoint(other, path)
+
+    def test_architecture_mismatch_names_client_and_param(
+        self, tiny_bundle, tmp_path
+    ):
+        algo = make_algo(tiny_bundle)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+
+        # heterogeneous assignment: client 1 now runs mlp_medium instead of
+        # the checkpoint's mlp_small — must be rejected up front, naming the
+        # client, not deep inside load_state_dict
+        hetero = make_tiny_federation(
+            tiny_bundle,
+            client_models=["mlp_small", "mlp_medium", "mlp_small"],
+            server_model="mlp_medium",
+        )
+        other = build_algorithm("fedpkd", hetero, epoch_scale=0.1)
+        with pytest.raises(CheckpointError, match="client 1"):
+            load_checkpoint(other, path)
+        # validation happens before mutation: client 0 weights untouched
+        fresh = make_algo(tiny_bundle, seed=0)
+        np.testing.assert_array_equal(
+            other.clients[0].model.classifier.weight.data.shape,
+            fresh.clients[0].model.classifier.weight.data.shape,
+        )
+
+    def test_algorithm_mismatch_rejected(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+
+        fed = make_tiny_federation(tiny_bundle, server_model="mlp_medium")
+        other = build_algorithm("naive_kd", fed, epoch_scale=0.1)
+        with pytest.raises(CheckpointError, match="fedpkd"):
+            load_checkpoint(other, path)
+
+    def test_server_presence_mismatch_rejected(self, tiny_bundle, tmp_path):
+        fed = make_tiny_federation(tiny_bundle, server_model=None)
+        algo = build_algorithm("fedproto", fed, epoch_scale=0.1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+
+        # fedproto never has a server model, so fake one structurally: load a
+        # with-server fedpkd checkpoint into a serverless fedproto is already
+        # covered by the algorithm check; here check the server direction via
+        # meta inspection
+        meta = read_checkpoint_meta(path)
+        assert meta["fingerprint"]["server"] is None
+
+
+class TestCrashSafety:
+    def test_interrupted_save_preserves_previous_checkpoint(
+        self, tiny_bundle, tmp_path, monkeypatch
+    ):
+        algo = make_algo(tiny_bundle)
+        algo.run(rounds=1)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+        good_bytes = open(path, "rb").read()
+
+        algo.run(rounds=1)
+
+        real_savez = np.savez
+
+        def dying_savez(file, **arrays):
+            # write a partial archive, then die mid-save
+            real_savez(file, **arrays)
+            file.flush()
+            file.truncate(128)
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", dying_savez)
+        with pytest.raises(OSError):
+            save_checkpoint(algo, path)
+        monkeypatch.undo()
+
+        # the previous checkpoint is byte-identical and loadable; no tmp
+        # litter remains
+        assert open(path, "rb").read() == good_bytes
+        assert [p for p in os.listdir(tmp_path) if ".tmp." in p] == []
+        fresh = make_algo(tiny_bundle, seed=0)
+        assert load_checkpoint(fresh, path) == 1
+
+    def test_truncated_file_raises_checkpoint_error(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as f:
+            f.write(blob[: len(blob) // 3])
+
+        fresh = make_algo(tiny_bundle, seed=0)
+        with pytest.raises(CheckpointError, match="corrupt or truncated"):
+            load_checkpoint(fresh, path)
+
+    def test_garbage_file_raises_checkpoint_error(self, tiny_bundle, tmp_path):
+        path = str(tmp_path / "garbage.npz")
+        with open(path, "wb") as f:
+            f.write(b"this is not a checkpoint at all")
+        algo = make_algo(tiny_bundle)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(algo, path)
+
+    def test_unversioned_npz_rejected(self, tiny_bundle, tmp_path):
+        path = str(tmp_path / "legacy.npz")
+        np.savez(path, **{"client0::w": np.zeros(3)})
+        algo = make_algo(tiny_bundle)
+        with pytest.raises(CheckpointError, match="format version"):
+            load_checkpoint(algo, path)
+
+    def test_future_version_rejected(self, tiny_bundle, tmp_path):
+        algo = make_algo(tiny_bundle)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(algo, path)
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        arrays["__meta__format_version"] = np.array(
+            CHECKPOINT_FORMAT_VERSION + 1, dtype=np.int64
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointError, match="format version"):
+            load_checkpoint(algo, path)
+
+
+class TestAutosave:
+    def test_run_autosaves_at_cadence(self, tiny_bundle, tmp_path):
+        path = str(tmp_path / "auto.npz")
+        algo = make_algo(tiny_bundle)
+        history = algo.run(rounds=2, checkpoint_every=2, checkpoint_path=path)
+        meta = read_checkpoint_meta(path)
+        assert meta["round_index"] == 2
+        restored = load_history(path)
+        assert len(restored.records) == len(history.records)
+
+    def test_autosave_fires_on_final_round(self, tiny_bundle, tmp_path):
+        path = str(tmp_path / "auto.npz")
+        algo = make_algo(tiny_bundle)
+        algo.run(rounds=3, checkpoint_every=2, checkpoint_path=path)
+        assert read_checkpoint_meta(path)["round_index"] == 3
+
+    def test_federation_config_threads_autosave(self, tiny_bundle, tmp_path):
+        path = str(tmp_path / "auto.npz")
+        fed = make_tiny_federation(
+            tiny_bundle,
+            server_model="mlp_medium",
+            checkpoint_every=1,
+            checkpoint_path=path,
+        )
+        algo = build_algorithm("fedpkd", fed, epoch_scale=0.1)
+        algo.run(rounds=1)
+        assert os.path.exists(path)
+        assert read_checkpoint_meta(path)["round_index"] == 1

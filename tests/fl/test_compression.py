@@ -134,3 +134,24 @@ class TestFedPKDIntegration:
 
         with pytest.raises(ValueError):
             FedPKDConfig(logit_compression="int2")
+
+
+class TestEmptyArrays:
+    """Regression: prototype-based filtering can reject *every* public
+    sample for a client, producing zero-row logit matrices; quantisation
+    must return a valid empty wire tensor instead of crashing."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("shape", [(0,), (0, 5), (5, 0)])
+    def test_empty_roundtrip_all_schemes(self, scheme, shape):
+        arr = np.zeros(shape)
+        restored, wire = roundtrip(arr, scheme)
+        assert restored.shape == shape
+        assert restored.size == 0
+        assert wire.shape == shape
+        assert wire.num_bytes == 0
+        assert wire.data == b""
+
+    def test_empty_int8_payload_accounting(self):
+        qt = quantize(np.zeros((0, 8)), "int8")
+        assert payload_num_bytes({"logits": qt}) == 0

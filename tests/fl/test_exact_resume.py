@@ -1,0 +1,150 @@
+"""Exact-resume equivalence: resumed runs are bit-identical to uninterrupted.
+
+The paper's headline numbers are cumulative (MB-to-target-accuracy), so a
+resume that zeroes the comm ledger or resets an RNG stream silently
+corrupts results.  These tests enforce the contract end to end: run N
+rounds uninterrupted vs. autosave a checkpoint at N/2, rebuild a *fresh*
+federation, resume — the finished histories must match bit for bit
+(accuracies, per-client accuracies, comm bytes, extras) under both the
+serial and the parallel executor.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms import build_algorithm
+from repro.fl.checkpoint import load_checkpoint, load_history
+
+from ..conftest import make_tiny_federation
+
+ROUNDS = 4
+
+# FedPKD plus two baselines, one of which (FedProto) carries cross-round
+# algorithm state outside the models (its global prototypes)
+CASES = [
+    ("fedpkd", "mlp_medium"),
+    ("fedproto", None),
+    ("fedmd", None),
+]
+
+
+def _make_algo(bundle, algorithm, server_model, executor, **fed_kwargs):
+    fed = make_tiny_federation(
+        bundle,
+        server_model=server_model,
+        executor=executor,
+        max_workers=2 if executor == "parallel" else None,
+        **fed_kwargs,
+    )
+    return build_algorithm(algorithm, fed, seed=0, epoch_scale=0.1), fed
+
+
+def _deterministic_extras(record):
+    """Extras minus wall-clock noise (``time/*`` stage timings)."""
+    return {k: v for k, v in record.extras.items() if not k.startswith("time/")}
+
+
+def assert_bit_identical(full, resumed):
+    assert len(full.records) == len(resumed.records)
+    for a, b in zip(full.records, resumed.records):
+        assert a.round_index == b.round_index
+        assert a.server_acc == b.server_acc or (
+            math.isnan(a.server_acc) and math.isnan(b.server_acc)
+        )
+        assert a.client_accs == b.client_accs
+        assert a.comm_uplink_bytes == b.comm_uplink_bytes
+        assert a.comm_downlink_bytes == b.comm_downlink_bytes
+        assert _deterministic_extras(a) == _deterministic_extras(b)
+
+
+@pytest.mark.parametrize("algorithm,server_model", CASES)
+@pytest.mark.parametrize("executor", ["serial", "parallel"])
+def test_resume_is_bit_identical(
+    tiny_bundle, tmp_path, algorithm, server_model, executor
+):
+    path = str(tmp_path / f"{algorithm}-{executor}.ckpt.npz")
+
+    # uninterrupted reference run
+    algo, fed = _make_algo(tiny_bundle, algorithm, server_model, executor)
+    try:
+        full = algo.run(ROUNDS, eval_every=1)
+    finally:
+        fed.close()
+
+    # first half, autosaving at the midpoint
+    algo, fed = _make_algo(tiny_bundle, algorithm, server_model, executor)
+    try:
+        algo.run(
+            ROUNDS // 2,
+            eval_every=1,
+            checkpoint_every=ROUNDS // 2,
+            checkpoint_path=path,
+        )
+    finally:
+        fed.close()
+
+    # fresh federation + resume for the second half
+    algo, fed = _make_algo(tiny_bundle, algorithm, server_model, executor)
+    try:
+        done = load_checkpoint(algo, path)
+        assert done == ROUNDS // 2
+        history = load_history(path)
+        assert history is not None and len(history.records) == ROUNDS // 2
+        resumed = algo.run(ROUNDS - done, eval_every=1, history=history)
+    finally:
+        fed.close()
+
+    assert_bit_identical(full, resumed)
+
+
+def test_resume_with_participation_dropout(tiny_bundle, tmp_path):
+    """The ParticipationSampler RNG stream must survive the checkpoint."""
+    path = str(tmp_path / "dropout.ckpt.npz")
+
+    algo, _ = _make_algo(
+        tiny_bundle, "fedproto", None, "serial", dropout_prob=0.4
+    )
+    full = algo.run(ROUNDS, eval_every=1)
+
+    algo, _ = _make_algo(
+        tiny_bundle, "fedproto", None, "serial", dropout_prob=0.4
+    )
+    algo.run(ROUNDS // 2, eval_every=1, checkpoint_every=ROUNDS // 2,
+             checkpoint_path=path)
+
+    algo, _ = _make_algo(
+        tiny_bundle, "fedproto", None, "serial", dropout_prob=0.4
+    )
+    done = load_checkpoint(algo, path)
+    resumed = algo.run(ROUNDS - done, eval_every=1, history=load_history(path))
+
+    assert_bit_identical(full, resumed)
+
+
+def test_harness_resume_flow(tiny_bundle, tmp_path):
+    """run_algorithm(resume=True) restores and finishes an interrupted run."""
+    from repro.experiments.harness import ExperimentSetting, run_algorithm
+
+    path = str(tmp_path / "harness.ckpt.npz")
+    base = dict(dataset="cifar10", scale="tiny", seed=0)
+
+    full = run_algorithm(
+        ExperimentSetting(**base), "fedproto", rounds=ROUNDS, eval_every=1
+    )
+
+    setting = ExperimentSetting(
+        **base, checkpoint_every=ROUNDS // 2, checkpoint_path=path
+    )
+    run_algorithm(setting, "fedproto", rounds=ROUNDS // 2, eval_every=1)
+    resumed = run_algorithm(
+        setting, "fedproto", rounds=ROUNDS, eval_every=1, resume=True
+    )
+
+    assert_bit_identical(full, resumed)
+
+    # resuming an already-finished run is a no-op returning the history
+    again = run_algorithm(
+        setting, "fedproto", rounds=ROUNDS, eval_every=1, resume=True
+    )
+    assert_bit_identical(full, again)

@@ -87,3 +87,71 @@ class TestRunHistory:
 
     def test_iteration(self):
         assert [r.round_index for r in self.make_history()] == [1, 2, 3]
+
+
+class TestPersistence:
+    """RunHistory survives a save/load cycle with everything the resume
+    path depends on: extras, NaN accuracies, and the derived
+    comm/rounds-to-reach queries on the restored object."""
+
+    def make_history(self):
+        h = RunHistory("fedpkd", dataset="cifar10")
+        h.append(
+            RoundRecord(
+                round_index=1,
+                server_acc=float("nan"),
+                client_accs=[0.1, 0.2],
+                comm_uplink_bytes=1 * MB,
+                comm_downlink_bytes=MB // 2,
+                extras={"kd/loss": 1.25, "dropouts": 1.0},
+            )
+        )
+        h.append(
+            RoundRecord(
+                round_index=2,
+                server_acc=0.55,
+                client_accs=[0.4, 0.5],
+                comm_uplink_bytes=2 * MB,
+                comm_downlink_bytes=MB,
+                extras={"kd/loss": 0.75, "dropouts": 0.0},
+            )
+        )
+        return h
+
+    def test_json_roundtrip_with_extras_and_nan(self):
+        h = self.make_history()
+        restored = RunHistory.from_json(h.to_json())
+        assert restored.algorithm == "fedpkd"
+        assert restored.dataset == "cifar10"
+        assert len(restored) == 2
+        assert math.isnan(restored.records[0].server_acc)
+        assert restored.records[0].extras == {"kd/loss": 1.25, "dropouts": 1.0}
+        assert restored.records[1].extras == {"kd/loss": 0.75, "dropouts": 0.0}
+        assert restored.records[1].client_accs == [0.4, 0.5]
+
+    def test_dict_roundtrip_is_exact(self):
+        h = self.make_history()
+        restored = RunHistory.from_dict(h.to_dict())
+        assert restored.to_dict() == h.to_dict()
+
+    def test_queries_on_restored_object(self):
+        restored = RunHistory.from_json(self.make_history().to_json())
+        assert restored.rounds_to_reach(0.5, metric="server") == 2
+        assert restored.comm_to_reach(0.5, metric="server") == pytest.approx(3.0)
+        assert restored.comm_to_reach(0.15, metric="client") == pytest.approx(1.5)
+        assert restored.comm_to_reach(0.99) is None
+        assert restored.rounds_to_reach(0.99) is None
+
+    def test_restored_history_keeps_appending(self):
+        restored = RunHistory.from_json(self.make_history().to_json())
+        restored.append(
+            RoundRecord(
+                round_index=3,
+                server_acc=0.6,
+                client_accs=[0.6, 0.6],
+                comm_uplink_bytes=MB,
+                comm_downlink_bytes=MB,
+            )
+        )
+        assert len(restored) == 3
+        assert restored.final_server_acc == 0.6

@@ -73,3 +73,72 @@ class TestWarmup:
             WarmupLR(make_opt(), warmup_epochs=0)
         with pytest.raises(ValueError):
             WarmupLR(make_opt(), warmup_epochs=2, start_factor=0.0)
+
+
+class TestChaining:
+    def test_warmup_then_cosine_decays_from_true_base(self):
+        """Regression: WarmupLR.__init__ rewrites optimizer.lr, so a
+        later-constructed scheduler must not mistake the warmup-scaled lr
+        for the base lr."""
+        opt = make_opt(1.0)
+        WarmupLR(opt, warmup_epochs=4, start_factor=0.1)
+        assert opt.lr == pytest.approx(0.1)
+        cosine = CosineAnnealingLR(opt, t_max=10)
+        assert cosine.base_lr == pytest.approx(1.0)
+        # halfway through the cosine: half the *true* base, not half of 0.1
+        for _ in range(5):
+            lr = cosine.step()
+        assert lr == pytest.approx(0.5, abs=1e-9)
+
+    def test_warmup_then_step_chain(self):
+        opt = make_opt(0.8)
+        WarmupLR(opt, warmup_epochs=2, start_factor=0.5)
+        sched = StepLR(opt, step_size=1, gamma=0.1)
+        assert sched.base_lr == pytest.approx(0.8)
+        sched.step()
+        assert opt.lr == pytest.approx(0.08)
+
+    def test_scheduler_after_manual_lr_change_uses_current_lr(self):
+        opt = make_opt(1.0)
+        opt.lr = 0.3  # manual retune before any scheduler exists
+        sched = CosineAnnealingLR(opt, t_max=4)
+        assert sched.base_lr == pytest.approx(0.3)
+
+
+class TestStateDict:
+    def test_roundtrip_resumes_exactly(self):
+        opt1 = make_opt(1.0)
+        sched1 = CosineAnnealingLR(opt1, t_max=10)
+        for _ in range(4):
+            sched1.step()
+
+        opt2 = make_opt(1.0)
+        sched2 = CosineAnnealingLR(opt2, t_max=10)
+        sched2.load_state_dict(sched1.state_dict())
+        assert sched2.epoch == 4
+        assert opt2.lr == pytest.approx(opt1.lr)
+        assert [sched1.step() for _ in range(6)] == pytest.approx(
+            [sched2.step() for _ in range(6)]
+        )
+
+    def test_load_reapplies_lr(self):
+        opt1 = make_opt(1.0)
+        sched1 = StepLR(opt1, step_size=1, gamma=0.5)
+        sched1.step()
+        state = sched1.state_dict()
+
+        opt2 = make_opt(1.0)
+        sched2 = StepLR(opt2, step_size=1, gamma=0.5)
+        sched2.load_state_dict(state)
+        assert opt2.lr == pytest.approx(0.5)
+
+    def test_warmup_state_roundtrip(self):
+        opt1 = make_opt(1.0)
+        sched1 = WarmupLR(opt1, warmup_epochs=4, start_factor=0.2)
+        sched1.step()
+
+        opt2 = make_opt(1.0)
+        sched2 = WarmupLR(opt2, warmup_epochs=4, start_factor=0.2)
+        sched2.load_state_dict(sched1.state_dict())
+        assert opt2.lr == pytest.approx(opt1.lr)
+        assert sched2.step() == pytest.approx(sched1.step())

@@ -49,7 +49,10 @@ def test_payload_bytes_is_four_per_element(state):
 
 
 @given(
-    grad=st.floats(min_value=-1e6, max_value=1e6).filter(lambda g: abs(g) > 1e-8),
+    # |grad| must dominate Adam's eps (1e-8) for the ±lr property to hold:
+    # the update is lr * g / (|g| + eps), which only approaches lr when
+    # |g| >> eps.
+    grad=st.floats(min_value=-1e6, max_value=1e6).filter(lambda g: abs(g) > 1e-4),
     lr=st.floats(min_value=1e-5, max_value=1.0),
 )
 @settings(max_examples=40, deadline=None)

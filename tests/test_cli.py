@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import math
 
 import pytest
 
@@ -53,3 +54,56 @@ class TestExperimentCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig4"])
+
+
+class TestResume:
+    def test_resume_requires_checkpoint(self, capsys):
+        code = main(["run", "--algorithm", "fedavg", "--resume"])
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt.npz"
+        out_full = tmp_path / "full.json"
+        out_resumed = tmp_path / "resumed.json"
+        common = ["run", "--algorithm", "fedproto", "--scale", "tiny"]
+
+        # uninterrupted reference
+        assert main(common + ["--rounds", "2", "--out", str(out_full)]) == 0
+
+        # interrupted run: one round, checkpointing every round
+        assert (
+            main(
+                common
+                + ["--rounds", "1", "--checkpoint", str(ckpt), "--checkpoint-every", "1"]
+            )
+            == 0
+        )
+        assert ckpt.exists()
+
+        # resume to the full length
+        assert (
+            main(
+                common
+                + [
+                    "--rounds", "2",
+                    "--checkpoint", str(ckpt),
+                    "--resume",
+                    "--out", str(out_resumed),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        full = json.loads(out_full.read_text())
+        resumed = json.loads(out_resumed.read_text())
+        assert len(resumed["records"]) == 2
+        for a, b in zip(full["records"], resumed["records"]):
+            for key in ("server_acc", "client_accs", "comm_uplink_bytes",
+                        "comm_downlink_bytes"):
+                x, y = a[key], b[key]
+                if isinstance(x, float) and math.isnan(x):
+                    assert math.isnan(y)
+                else:
+                    assert x == y
