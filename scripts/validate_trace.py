@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Validate a trace (and optionally a metrics export) against the obs schema.
+
+Exit 0 when every file validates and all expectations hold, 1 otherwise.
+
+    PYTHONPATH=src python scripts/validate_trace.py run.trace.jsonl \
+        --metrics run.metrics.jsonl \
+        --expect-scopes run,round,stage,client \
+        --expect-events fedpkd/filter,fedpkd/aggregate
+"""
+
+import argparse
+import json
+import sys
+
+from repro.obs import SchemaError, validate_metrics_file, validate_trace_file
+
+
+def _csv(value):
+    return [item for item in value.split(",") if item]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace JSONL file to validate")
+    parser.add_argument(
+        "--metrics", help="also validate this metrics export (.jsonl or .json)"
+    )
+    parser.add_argument(
+        "--expect-scopes",
+        type=_csv,
+        default=[],
+        metavar="S1,S2",
+        help="fail unless every listed scope appears in the trace",
+    )
+    parser.add_argument(
+        "--expect-events",
+        type=_csv,
+        default=[],
+        metavar="N1,N2",
+        help="fail unless every listed span/event name appears in the trace",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        count = validate_trace_file(args.trace)
+    except (SchemaError, OSError) as exc:
+        print(f"INVALID {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    print(f"ok {args.trace}: {count} records")
+
+    if args.expect_scopes or args.expect_events:
+        with open(args.trace) as f:
+            records = [json.loads(line) for line in f]
+        scopes = {r.get("scope") for r in records} - {None}
+        names = {r["name"] for r in records}
+        missing_scopes = sorted(set(args.expect_scopes) - scopes)
+        missing_events = sorted(set(args.expect_events) - names)
+        if missing_scopes or missing_events:
+            if missing_scopes:
+                print(f"missing scopes: {missing_scopes}", file=sys.stderr)
+            if missing_events:
+                print(f"missing events: {missing_events}", file=sys.stderr)
+            return 1
+        print(f"ok expectations: scopes={sorted(scopes)}")
+
+    if args.metrics:
+        try:
+            count = validate_metrics_file(args.metrics)
+        except (SchemaError, OSError) as exc:
+            print(f"INVALID {args.metrics}: {exc}", file=sys.stderr)
+            return 1
+        print(f"ok {args.metrics}: {count} metrics")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -78,11 +78,24 @@ class FedDF(FedAvg):
                 participants, "logits_on", {"x": PUBLIC_X}, stage="public_logits"
             )
         )
-        loss = self.server.train_distill(
-            self.public_x,
-            ensemble,
-            cfg.server,
-            kd_weight=cfg.kd_weight,
-            temperature=cfg.temperature,
+        with self.tracer.span(
+            "server_distill",
+            scope="server",
+            attrs={"clients": len(participants), "epochs": cfg.server.epochs},
+        ) as span:
+            loss = self.server.train_distill(
+                self.public_x,
+                ensemble,
+                cfg.server,
+                kd_weight=cfg.kd_weight,
+                temperature=cfg.temperature,
+            )
+            span.set_attr("loss", loss)
+        self.tracer.event(
+            "feddf/distill",
+            scope="server",
+            attrs={"loss": loss, "public_samples": len(self.public_x)},
         )
+        if self.metrics.enabled:
+            self.metrics.gauge("feddf/server_loss").set(loss)
         return {"participants": float(len(participants)), "server_loss": loss}

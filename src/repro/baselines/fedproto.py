@@ -86,6 +86,21 @@ class FedProto(FederatedAlgorithm):
             )
             counts_list.append(counts)
         new_protos = aggregate_prototypes(protos_list, counts_list)
+        if self.tracer.enabled and self.global_prototypes is not None:
+            # round-over-round movement of the global prototypes: mean L2
+            # over the classes finite in both the old and new tables
+            old, new = self.global_prototypes, new_protos
+            both = prototype_coverage(old) & prototype_coverage(new)
+            drift = (
+                float(np.linalg.norm(new[both] - old[both], axis=1).mean())
+                if both.any()
+                else float("nan")
+            )
+            self.tracer.event(
+                "fedproto/prototype_drift",
+                scope="server",
+                attrs={"drift_l2": drift, "classes_compared": int(both.sum())},
+            )
         self.global_prototypes = merge_prototypes(new_protos, self.global_prototypes)
         covered = prototype_coverage(self.global_prototypes)
         payload = {"global_prototypes": self.global_prototypes[covered]}

@@ -1,14 +1,19 @@
 """Command-line interface.
 
-Two subcommands::
+Three subcommands::
 
     python -m repro run --algorithm fedpkd --dataset cifar10 \
-        --partition dir0.1 --scale tiny --rounds 5 --out history.json
+        --partition dir0.1 --scale tiny --rounds 5 --out history.json \
+        --trace trace.jsonl --metrics-out metrics.jsonl
 
     python -m repro experiment fig5 --scale small
 
-``run`` executes one algorithm and writes its RunHistory as JSON;
-``experiment`` regenerates one paper figure/table and prints its rows.
+    python -m repro results history1.json history2.json --target 0.5
+
+``run`` executes one algorithm and writes its RunHistory as JSON (with
+optional observability outputs; see docs/OBSERVABILITY.md); ``experiment``
+regenerates one paper figure/table and prints its rows; ``results``
+tabulates saved history JSON files.
 """
 
 from __future__ import annotations
@@ -101,6 +106,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resume from --checkpoint if it exists; the finished run is "
         "bit-identical to one that never stopped",
     )
+    run_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a structured JSONL event trace of the run "
+        "(docs/OBSERVABILITY.md documents the schema)",
+    )
+    run_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="export the metrics registry to this .jsonl/.json/.csv file",
+    )
     run_p.add_argument("--out", default=None, help="path for the history JSON")
     run_p.add_argument("--verbose", action="store_true")
 
@@ -109,6 +127,35 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--scale", choices=sorted(SCALES), default="tiny")
     exp_p.add_argument("--seed", type=int, default=0)
 
+    res_p = sub.add_parser(
+        "results", help="tabulate saved RunHistory JSON files"
+    )
+    res_p.add_argument("files", nargs="+", help="history JSON files from `repro run --out`")
+    res_p.add_argument(
+        "--target",
+        type=float,
+        default=None,
+        help="also report cumulative MB until this accuracy is reached",
+    )
+    res_p.add_argument(
+        "--metric",
+        choices=("server", "client"),
+        default="server",
+        help="accuracy metric used for --target (default: server)",
+    )
+    res_p.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="export the per-round records of a single history as CSV",
+    )
+
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="configure the repro logger on stderr",
+    )
     return parser
 
 
@@ -127,6 +174,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         task_timeout_s=args.task_timeout_s,
         checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
         checkpoint_path=args.checkpoint,
+        trace_path=args.trace,
+        metrics_path=args.metrics_out,
     )
     history = run_algorithm(
         setting, args.algorithm, rounds=args.rounds, resume=args.resume
@@ -142,6 +191,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.out, "w") as f:
             json.dump(history.to_dict(), f, indent=2)
         print(f"history written to {args.out}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -151,10 +204,71 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_results(args: argparse.Namespace) -> int:
+    from .experiments.harness import format_table
+    from .fl.metrics import RunHistory
+
+    histories = []
+    for path in args.files:
+        try:
+            with open(path) as f:
+                histories.append((path, RunHistory.from_dict(json.load(f))))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"cannot read history '{path}': {exc}", file=sys.stderr)
+            return 2
+
+    if args.csv:
+        if len(histories) != 1:
+            print("--csv exports a single history file", file=sys.stderr)
+            return 2
+        with open(args.csv, "w") as f:
+            f.write(histories[0][1].to_csv())
+        print(f"per-round CSV written to {args.csv}")
+
+    headers = [
+        "file",
+        "algorithm",
+        "dataset",
+        "rounds",
+        "final_S_acc",
+        "best_S_acc",
+        "final_C_acc",
+        "best_C_acc",
+        "comm_MB",
+    ]
+    if args.target is not None:
+        headers.append(f"MB_to_{args.target:g}")
+    rows = []
+    for path, history in histories:
+        last_mb = history.records[-1].comm_total_mb if history.records else float("nan")
+        row = [
+            path,
+            history.algorithm,
+            history.dataset or "?",
+            len(history),
+            history.final_server_acc,
+            history.best_server_acc,
+            history.final_client_acc,
+            history.best_client_acc,
+            last_mb,
+        ]
+        if args.target is not None:
+            row.append(history.comm_to_reach(args.target, metric=args.metric))
+        rows.append(row)
+    print(format_table(headers, rows))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if getattr(args, "log_level", None):
+        from .obs import configure_logging
+
+        configure_logging(args.log_level)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "results":
+        return _cmd_results(args)
     return _cmd_experiment(args)
 
 

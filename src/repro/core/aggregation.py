@@ -13,6 +13,7 @@ import numpy as np
 
 __all__ = [
     "variance_weighted_aggregate",
+    "variance_weights",
     "equal_average_aggregate",
     "entropy_reduction_aggregate",
     "entropy_weighted_aggregate",
@@ -40,19 +41,29 @@ def logit_variances(client_logits: Sequence[np.ndarray]) -> np.ndarray:
     return stacked.var(axis=2)
 
 
-def variance_weighted_aggregate(client_logits: Sequence[np.ndarray]) -> np.ndarray:
-    """FedPKD's aggregation (Eq. 6): per-sample variance-weighted mean.
+def variance_weights(client_logits: Sequence[np.ndarray]) -> np.ndarray:
+    """The Eq. 7 mixing weights ``beta_c(x_i)``, shape ``(C, S)``.
 
-    ``beta_c(x_i) = Var(M_c(x_i)) / sum_k Var(M_k(x_i))``.  If every client
-    has zero variance on a sample (degenerate), falls back to equal weights.
+    Each column sums to 1.  If every client has zero variance on a sample
+    (degenerate), that column falls back to equal weights.  Exposed
+    separately so observability can report the weight distribution without
+    re-deriving the aggregation internals.
     """
     stacked = _stack(client_logits)
     variances = stacked.var(axis=2)  # (C, S)
     totals = variances.sum(axis=0, keepdims=True)  # (1, S)
     num_clients = stacked.shape[0]
     with np.errstate(invalid="ignore", divide="ignore"):
-        weights = np.where(totals > 0, variances / totals, 1.0 / num_clients)
-    return np.einsum("cs,csn->sn", weights, stacked)
+        return np.where(totals > 0, variances / totals, 1.0 / num_clients)
+
+
+def variance_weighted_aggregate(client_logits: Sequence[np.ndarray]) -> np.ndarray:
+    """FedPKD's aggregation (Eq. 6): per-sample variance-weighted mean.
+
+    Uses :func:`variance_weights` for the ``beta_c(x_i)`` mixing weights.
+    """
+    stacked = _stack(client_logits)
+    return np.einsum("cs,csn->sn", variance_weights(client_logits), stacked)
 
 
 def equal_average_aggregate(client_logits: Sequence[np.ndarray]) -> np.ndarray:

@@ -38,6 +38,7 @@ from .aggregation import (
     entropy_weighted_aggregate,
     equal_average_aggregate,
     variance_weighted_aggregate,
+    variance_weights,
 )
 from .distillation import prototype_ensemble_distill
 from .filtering import FilterResult, prototype_filter, random_filter
@@ -194,6 +195,22 @@ class FedPKD(FederatedAlgorithm):
             aggregated = equal_average_aggregate(logits_list)
         new_protos = aggregate_prototypes(protos_list, counts_list)
         self.global_prototypes = merge_prototypes(new_protos, self.global_prototypes)
+        if self.tracer.enabled:
+            attrs = {"mode": cfg.aggregation, "clients": len(logits_list)}
+            if cfg.aggregation == "variance":
+                # how contested the ensemble is: spread of the Eq. 7 mixing
+                # weights across clients, summarised per pseudo-class
+                weights = variance_weights(logits_list)  # (C, S)
+                per_sample_var = weights.var(axis=0)  # (S,)
+                pseudo = aggregated.argmax(axis=1)
+                attrs["mean_weight_var"] = float(per_sample_var.mean())
+                attrs["per_class_weight_var"] = [
+                    float(per_sample_var[pseudo == k].mean())
+                    if bool((pseudo == k).any())
+                    else float("nan")
+                    for k in range(aggregated.shape[1])
+                ]
+            self.tracer.event("fedpkd/aggregate", scope="server", attrs=attrs)
         return aggregated
 
     def _filter(self, aggregated: np.ndarray) -> FilterResult:
@@ -202,34 +219,75 @@ class FedPKD(FederatedAlgorithm):
         in_warmup = self.round_index < cfg.filter_warmup_rounds
         if not cfg.use_filtering or in_warmup:
             pseudo = aggregated.argmax(axis=1).astype(np.int64)
-            return FilterResult(
+            result = FilterResult(
                 selected=np.arange(num_public, dtype=np.int64),
                 pseudo_labels=pseudo,
                 distances=np.full(num_public, np.nan),
             )
-        if cfg.filter_mode == "random":
-            return random_filter(num_public, aggregated, cfg.select_ratio, self.rng)
-        features = self.server.model.extract_features(self.public_x)
-        return prototype_filter(
-            features, aggregated, self.global_prototypes, cfg.select_ratio
+            mode = "none"
+        elif cfg.filter_mode == "random":
+            result = random_filter(num_public, aggregated, cfg.select_ratio, self.rng)
+            mode = "random"
+        else:
+            features = self.server.model.extract_features(self.public_x)
+            result = prototype_filter(
+                features, aggregated, self.global_prototypes, cfg.select_ratio
+            )
+            mode = "prototype"
+        self._publish_filter(result, num_public, mode, in_warmup)
+        return result
+
+    def _publish_filter(
+        self, result: FilterResult, num_public: int, mode: str, in_warmup: bool
+    ) -> None:
+        """Trace/meter one Algorithm-1 pass (no-op when obs is disabled)."""
+        if not self.obs.enabled:
+            return
+        accepted = int(result.num_selected)
+        rejected = num_public - accepted
+        self.tracer.event(
+            "fedpkd/filter",
+            scope="server",
+            attrs={
+                "mode": mode,
+                "warmup": in_warmup,
+                "accepted": accepted,
+                "rejected": rejected,
+                "num_public": num_public,
+            },
         )
+        if self.metrics.enabled:
+            self.metrics.counter("fedpkd/filter_accepted").inc(accepted)
+            self.metrics.counter("fedpkd/filter_rejected").inc(rejected)
 
     def _server_phase(
         self, aggregated: np.ndarray, result: FilterResult
     ) -> float:
         cfg = self.config
         prototypes = self.global_prototypes if cfg.server_prototype_loss else None
-        return prototype_ensemble_distill(
-            self.server.model,
-            self.public_x[result.selected],
-            aggregated[result.selected],
-            result.pseudo_labels,
-            prototypes,
-            cfg.delta,
-            cfg.server,
-            self.server.rng,
-            temperature=cfg.temperature,
-        )
+        with self.tracer.span(
+            "server_distill",
+            scope="server",
+            attrs={
+                "num_selected": int(result.num_selected),
+                "epochs": cfg.server.epochs,
+            },
+        ) as span:
+            loss = prototype_ensemble_distill(
+                self.server.model,
+                self.public_x[result.selected],
+                aggregated[result.selected],
+                result.pseudo_labels,
+                prototypes,
+                cfg.delta,
+                cfg.server,
+                self.server.rng,
+                temperature=cfg.temperature,
+            )
+            span.set_attr("loss", loss)
+        if self.metrics.enabled:
+            self.metrics.gauge("fedpkd/server_loss").set(loss)
+        return loss
 
     def _client_public_phase(
         self, participants: List[FLClient], result: FilterResult

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..algorithms import algorithm_supports, build_algorithm
 from ..data.datasets import FederatedDataBundle, make_task
-from ..fl.checkpoint import load_checkpoint, load_history
+from ..fl.checkpoint import load_checkpoint, load_history, read_checkpoint_meta
 from ..fl.config import FederationConfig
 from ..fl.metrics import RunHistory
 from ..fl.simulation import build_federation
@@ -100,6 +100,9 @@ class ExperimentSetting:
     # exact-resume autosave (see repro.fl.checkpoint / docs/CHECKPOINT.md)
     checkpoint_every: int = 0
     checkpoint_path: Optional[str] = None
+    # observability (see repro.obs / docs/OBSERVABILITY.md)
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
 
     def scale_config(self) -> ScaleConfig:
         base = SCALES[self.scale].sized_for(self.dataset)
@@ -188,6 +191,8 @@ def federation_for(
         task_timeout_s=setting.task_timeout_s,
         checkpoint_every=setting.checkpoint_every,
         checkpoint_path=setting.checkpoint_path,
+        trace_path=setting.trace_path,
+        metrics_path=setting.metrics_path,
     )
     return build_federation(bundle, config)
 
@@ -210,29 +215,38 @@ def run_algorithm(
     """
     sc = setting.scale_config()
     federation = federation_for(setting, algorithm, bundle)
-    algo = build_algorithm(
-        algorithm,
-        federation,
-        seed=setting.seed,
-        epoch_scale=sc.epoch_scale,
-        **config_overrides,
-    )
-    total_rounds = rounds or sc.rounds
-    history: Optional[RunHistory] = None
-    rounds_done = 0
-    if resume:
-        if not setting.checkpoint_path:
-            raise ValueError("resume=True requires setting.checkpoint_path")
-        if os.path.exists(setting.checkpoint_path):
-            rounds_done = load_checkpoint(algo, setting.checkpoint_path)
-            history = load_history(setting.checkpoint_path)
-    remaining = max(0, total_rounds - rounds_done)
-    if remaining > 0:
-        history = algo.run(remaining, eval_every=eval_every, history=history)
-    elif history is None:
-        history = RunHistory(
-            algo.name, dataset=setting.dataset, config={"rounds": total_rounds}
+    try:
+        algo = build_algorithm(
+            algorithm,
+            federation,
+            seed=setting.seed,
+            epoch_scale=sc.epoch_scale,
+            **config_overrides,
         )
+        total_rounds = rounds or sc.rounds
+        history: Optional[RunHistory] = None
+        rounds_done = 0
+        if resume:
+            if not setting.checkpoint_path:
+                raise ValueError("resume=True requires setting.checkpoint_path")
+            if os.path.exists(setting.checkpoint_path):
+                # the trace file survives the restart: append to it behind a
+                # `resume` marker.  This must precede load_checkpoint, whose
+                # checkpoint/load event is otherwise the tracer's first write
+                # and would truncate the existing trace.
+                meta = read_checkpoint_meta(setting.checkpoint_path)
+                federation.obs.mark_resume(meta["round_index"])
+                rounds_done = load_checkpoint(algo, setting.checkpoint_path)
+                history = load_history(setting.checkpoint_path)
+        remaining = max(0, total_rounds - rounds_done)
+        if remaining > 0:
+            history = algo.run(remaining, eval_every=eval_every, history=history)
+        elif history is None:
+            history = RunHistory(
+                algo.name, dataset=setting.dataset, config={"rounds": total_rounds}
+            )
+    finally:
+        federation.close()
     history.dataset = setting.dataset
     history.config.update(
         {

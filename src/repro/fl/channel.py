@@ -36,26 +36,51 @@ class ChannelSnapshot:
 
 
 class CommChannel:
-    """Byte-accounting ledger for a simulated FL deployment."""
+    """Byte-accounting ledger for a simulated FL deployment.
 
-    def __init__(self) -> None:
+    With a :class:`~repro.obs.metrics.MetricsRegistry` attached, every
+    transfer additionally publishes ``channel/uplink_bytes`` /
+    ``channel/downlink_bytes`` counters and a ``channel/payload_bytes``
+    size histogram; the ledger itself is unaffected.
+    """
+
+    def __init__(self, metrics=None) -> None:
         self._uplink: Dict[int, int] = {}
         self._downlink: Dict[int, int] = {}
         self._round_marks: List[ChannelSnapshot] = []
+        self._metrics = metrics
+
+    def attach_metrics(self, metrics) -> None:
+        """Publish transfer metrics into ``metrics`` from now on."""
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
+    def _publish(self, direction: str, size: int) -> None:
+        metrics = self._metrics
+        if metrics is None or not metrics.enabled:
+            return
+        from ..obs.metrics import DEFAULT_BYTE_BUCKETS
+
+        metrics.counter(f"channel/{direction}_bytes").inc(size)
+        metrics.counter(f"channel/{direction}_payloads").inc()
+        metrics.histogram(
+            "channel/payload_bytes", buckets=DEFAULT_BYTE_BUCKETS
+        ).observe(size)
+
     def upload(self, client_id: int, payload: Payload) -> int:
         """Record a client→server transfer; returns its size in bytes."""
         size = payload_num_bytes(payload)
         self._uplink[client_id] = self._uplink.get(client_id, 0) + size
+        self._publish("uplink", size)
         return size
 
     def download(self, client_id: int, payload: Payload) -> int:
         """Record a server→client transfer; returns its size in bytes."""
         size = payload_num_bytes(payload)
         self._downlink[client_id] = self._downlink.get(client_id, 0) + size
+        self._publish("downlink", size)
         return size
 
     def broadcast(self, client_ids, payload: Payload) -> int:

@@ -40,6 +40,7 @@ from __future__ import annotations
 import copy
 import json
 import os
+import time
 from typing import Any, Dict, Optional
 
 import numpy as np
@@ -199,6 +200,30 @@ def _validate_fingerprint(meta: dict, algo: FederatedAlgorithm, path: str) -> No
                 )
 
 
+def _publish_io(
+    algo: FederatedAlgorithm, op: str, path: str, dur_s: float
+) -> None:
+    """Record one checkpoint save/load in the algorithm's observability
+    sinks (no-op when observability is disabled)."""
+    obs = getattr(algo, "obs", None)
+    if obs is None or not obs.enabled:
+        return
+    size = os.path.getsize(path) if os.path.exists(path) else 0
+    obs.tracer.event(
+        f"checkpoint/{op}",
+        scope="checkpoint",
+        attrs={
+            "path": path,
+            "round": int(algo.round_index),
+            "dur_s": dur_s,
+            "bytes": size,
+        },
+    )
+    if obs.metrics.enabled:
+        obs.metrics.counter(f"checkpoint/{op}s").inc()
+        obs.metrics.histogram(f"checkpoint/{op}_seconds").observe(dur_s)
+
+
 # ----------------------------------------------------------------------
 # save
 # ----------------------------------------------------------------------
@@ -242,11 +267,16 @@ def save_checkpoint(
         "channel": algo.channel.state_dict(),
         "dropout_log": algo.dropout_log.state_dict(),
         "history": history.to_dict() if history is not None else None,
+        # partially accumulated record extras (stage times / wall time /
+        # dropouts since the last RoundRecord) — without this, a save that
+        # lands between eval_every boundaries silently drops them on resume
+        "pending": algo.pending_state(),
     }
     blob = json.dumps(meta, default=_json_default).encode("utf-8")
     arrays[_META_JSON] = np.frombuffer(blob, dtype=np.uint8)
     arrays[_META_VERSION] = np.array(CHECKPOINT_FORMAT_VERSION, dtype=np.int64)
 
+    start = time.perf_counter()
     tmp_path = f"{path}.tmp.{os.getpid()}"
     try:
         with open(tmp_path, "wb") as f:
@@ -257,6 +287,7 @@ def save_checkpoint(
     finally:
         if os.path.exists(tmp_path):
             os.remove(tmp_path)
+    _publish_io(algo, "save", path, time.perf_counter() - start)
 
 
 # ----------------------------------------------------------------------
@@ -318,6 +349,7 @@ def load_checkpoint(algo: FederatedAlgorithm, path: str) -> int:
     ledgers, the dropout log, and algorithm extra state.  Returns the
     restored round index.
     """
+    start = time.perf_counter()
     arrays, meta = _read_archive(path)
     _validate_fingerprint(meta, algo, path)
 
@@ -354,5 +386,7 @@ def load_checkpoint(algo: FederatedAlgorithm, path: str) -> int:
 
     algo.channel.load_state_dict(meta["channel"])
     algo.dropout_log.load_state_dict(meta["dropout_log"])
+    algo.load_pending_state(meta.get("pending"))
     algo.round_index = int(meta["round_index"])
+    _publish_io(algo, "load", path, time.perf_counter() - start)
     return algo.round_index

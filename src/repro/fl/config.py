@@ -78,6 +78,16 @@ class FederationConfig:
         Destination file for autosaved checkpoints (atomic writes; see
         :mod:`repro.fl.checkpoint`).  Required when ``checkpoint_every`` is
         set.
+    trace_path:
+        Destination for the structured JSONL event trace (run → round →
+        stage → client spans; see :mod:`repro.obs` and
+        ``docs/OBSERVABILITY.md``).  ``None`` (the default) installs the
+        no-op tracer at near-zero overhead.
+    metrics_path:
+        Destination for the metrics-registry export (``.jsonl``/``.json``
+        or ``.csv``).  Setting either this or ``trace_path`` enables the
+        metrics registry, whose snapshot is merged into each
+        ``RoundRecord.extras``.
     """
 
     num_clients: int = 8
@@ -94,6 +104,8 @@ class FederationConfig:
     task_retries: int = 1
     checkpoint_every: int = 0
     checkpoint_path: Optional[str] = None
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -117,6 +129,13 @@ class FederationConfig:
             )
         if self.checkpoint_every > 0 and not self.checkpoint_path:
             raise ValueError("checkpoint_every requires a checkpoint_path")
+        if self.metrics_path and not self.metrics_path.endswith(
+            (".jsonl", ".json", ".csv")
+        ):
+            raise ValueError(
+                f"metrics_path '{self.metrics_path}' must end in .jsonl, "
+                ".json or .csv"
+            )
 
     def client_model_names(self) -> List[str]:
         """Resolve per-client model names (cycling a heterogeneous list)."""

@@ -97,15 +97,25 @@ class RuntimeDropout:
 
 
 class DropoutLog:
-    """Ordered record of runtime dropouts across a run."""
+    """Ordered record of runtime dropouts across a run.
 
-    def __init__(self) -> None:
+    With a :class:`~repro.obs.metrics.MetricsRegistry` attached, every
+    recorded dropout also increments the ``runtime/dropouts`` counter.
+    """
+
+    def __init__(self, metrics=None) -> None:
         self.events: List[RuntimeDropout] = []
+        self._metrics = metrics
+
+    def attach_metrics(self, metrics) -> None:
+        self._metrics = metrics
 
     def record(
         self, round_index: int, client_id: int, stage: str, reason: str
     ) -> None:
         self.events.append(RuntimeDropout(round_index, client_id, stage, reason))
+        if self._metrics is not None and self._metrics.enabled:
+            self._metrics.counter("runtime/dropouts").inc()
 
     def clients_for_round(self, round_index: int) -> List[int]:
         """Distinct clients that dropped during ``round_index``."""

@@ -112,6 +112,51 @@ class RunHistory:
     # ------------------------------------------------------------------
     # (de)serialisation
     # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Render the per-round records as CSV.
+
+        Fixed columns first, then the sorted union of every record's
+        ``extras`` keys (records missing a key leave the cell empty).  NaN
+        renders as an empty cell so spreadsheet tools do not choke.
+        """
+        import csv
+        import io
+
+        extra_keys = sorted({key for r in self.records for key in r.extras})
+        headers = [
+            "round_index",
+            "server_acc",
+            "mean_client_acc",
+            "comm_uplink_bytes",
+            "comm_downlink_bytes",
+            "comm_total_mb",
+            "wall_time_s",
+        ] + extra_keys
+
+        def cell(value):
+            if value is None:
+                return ""
+            if isinstance(value, float) and math.isnan(value):
+                return ""
+            return value
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(headers)
+        for r in self.records:
+            row = [
+                r.round_index,
+                cell(r.server_acc),
+                cell(r.mean_client_acc),
+                r.comm_uplink_bytes,
+                r.comm_downlink_bytes,
+                cell(r.comm_total_mb),
+                cell(r.wall_time_s),
+            ]
+            row.extend(cell(r.extras.get(key)) for key in extra_keys)
+            writer.writerow(row)
+        return buffer.getvalue()
+
     def to_dict(self) -> dict:
         return {
             "algorithm": self.algorithm,

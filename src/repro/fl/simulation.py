@@ -24,6 +24,7 @@ from ..data.partition import (
     split_local_train_test,
 )
 from ..nn.models import build_model
+from ..obs import NULL_OBS, Observability
 from ..runtime import Executor, SerialExecutor, make_executor
 from .channel import CommChannel
 from .client import FLClient
@@ -48,12 +49,16 @@ class Federation:
         executor: Optional[Executor] = None,
         checkpoint_every: int = 0,
         checkpoint_path: Optional[str] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.clients = clients
         self.server = server
         self.bundle = bundle
         self.channel = channel
         self.participation = participation
+        # observability must exist before bind(): executors read it there
+        self.obs = obs if obs is not None else NULL_OBS
+        self.channel.attach_metrics(self.obs.metrics)
         self.executor = (executor or SerialExecutor()).bind(self)
         # autosave defaults inherited by FederatedAlgorithm.run()
         self.checkpoint_every = checkpoint_every
@@ -68,8 +73,9 @@ class Federation:
         return self.bundle.public
 
     def close(self) -> None:
-        """Release executor resources (worker processes, if any)."""
+        """Release executor resources and flush/close the observability sink."""
         self.executor.close()
+        self.obs.close()
 
 
 def _partition_indices(bundle: FederatedDataBundle, config: FederationConfig):
@@ -146,6 +152,7 @@ def build_federation(
         executor=make_executor(config),
         checkpoint_every=config.checkpoint_every,
         checkpoint_path=config.checkpoint_path,
+        obs=Observability.from_config(config),
     )
 
 
@@ -165,7 +172,15 @@ class FederatedAlgorithm:
         self.federation = federation
         self.rng = np.random.default_rng(seed)
         self.round_index = 0
-        self.dropout_log = DropoutLog()
+        self.obs = getattr(federation, "obs", None) or NULL_OBS
+        self.dropout_log = DropoutLog(metrics=self.obs.metrics)
+        # extras accumulated since the last RoundRecord (wall time, stage
+        # times, runtime dropouts).  Instance state — not run() locals — so
+        # checkpoints carry it and a resume between eval boundaries does
+        # not silently drop the partial accumulation.
+        self._pending_wall_time = 0.0
+        self._pending_stage_times: Dict[str, float] = {}
+        self._pending_dropouts = 0
 
     # convenient aliases -------------------------------------------------
     @property
@@ -191,6 +206,14 @@ class FederatedAlgorithm:
     @property
     def executor(self) -> Executor:
         return self.federation.executor
+
+    @property
+    def tracer(self):
+        return self.obs.tracer
+
+    @property
+    def metrics(self):
+        return self.obs.metrics
 
     def active_clients(self) -> List[FLClient]:
         """Clients participating this round (after failure injection)."""
@@ -253,6 +276,31 @@ class FederatedAlgorithm:
     def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
         """Inverse of :meth:`extra_state`."""
 
+    # ------------------------------------------------------------------
+    # partially accumulated record extras (checkpointed so a resume
+    # between eval_every boundaries loses nothing)
+    # ------------------------------------------------------------------
+    def pending_state(self) -> dict:
+        """Extras accumulated since the last :class:`RoundRecord`."""
+        return {
+            "wall_time_s": float(self._pending_wall_time),
+            "stage_times": {
+                name: float(seconds)
+                for name, seconds in self._pending_stage_times.items()
+            },
+            "dropouts": int(self._pending_dropouts),
+        }
+
+    def load_pending_state(self, state: Optional[dict]) -> None:
+        """Inverse of :meth:`pending_state` (``None`` resets to empty)."""
+        state = state or {}
+        self._pending_wall_time = float(state.get("wall_time_s", 0.0))
+        self._pending_stage_times = {
+            name: float(seconds)
+            for name, seconds in (state.get("stage_times") or {}).items()
+        }
+        self._pending_dropouts = int(state.get("dropouts", 0))
+
     def evaluate_server(self) -> float:
         return self.server.evaluate(self.bundle.test.x, self.bundle.test.y)
 
@@ -280,9 +328,15 @@ class FederatedAlgorithm:
         including ``history`` so far — is written atomically to
         ``checkpoint_path`` via :func:`repro.fl.checkpoint.save_checkpoint`.
         Both default to the federation's configured values
-        (:class:`~repro.fl.config.FederationConfig`).  For bit-exact record
-        alignment on resume, keep ``checkpoint_every`` a multiple of
-        ``eval_every`` so no partially accumulated extras span the save.
+        (:class:`~repro.fl.config.FederationConfig`).  Partially
+        accumulated record extras (stage times, wall time, runtime
+        dropouts) are checkpointed too, so ``checkpoint_every`` need not
+        align with ``eval_every``.
+
+        When observability is enabled (``FederationConfig(trace_path=...)``
+        or ``metrics_path=...``), each round and evaluation is traced as a
+        span and the metrics-registry snapshot is merged into every
+        record's ``extras``.
         """
         if checkpoint_every is None:
             checkpoint_every = getattr(self.federation, "checkpoint_every", 0)
@@ -296,53 +350,101 @@ class FederatedAlgorithm:
             history = RunHistory(
                 self.name, dataset=self.bundle.name, config={"rounds": rounds}
             )
+        tracer = self.tracer
         # wall time, per-stage timings, and runtime dropouts accumulate
-        # across the rounds between evaluations, so each RoundRecord covers
-        # everything since the previous record even when eval_every > 1
-        pending_wall_time = 0.0
-        pending_stage_times: Dict[str, float] = {}
-        pending_dropouts = 0
-        for r in range(rounds):
-            start = time.perf_counter()
-            participants = self.active_clients()
-            extras = self.run_round(participants) or {}
-            self.round_index += 1
-            pending_wall_time += time.perf_counter() - start
-            for stage_name, seconds in self.executor.pop_stage_times().items():
-                pending_stage_times[stage_name] = (
-                    pending_stage_times.get(stage_name, 0.0) + seconds
-                )
-            pending_dropouts += self.dropout_log.count_for_round(self.round_index)
-            final_round = r == rounds - 1
-            if final_round or self.round_index % eval_every == 0:
-                snap = self.channel.mark_round()
-                extras = dict(extras)
-                for stage_name, seconds in pending_stage_times.items():
-                    extras.setdefault(f"time/{stage_name}", seconds)
-                if pending_dropouts:
-                    extras.setdefault("runtime_dropouts", float(pending_dropouts))
-                record = RoundRecord(
-                    round_index=self.round_index,
-                    server_acc=self.evaluate_server(),
-                    client_accs=self.evaluate_clients(),
-                    comm_uplink_bytes=snap.uplink,
-                    comm_downlink_bytes=snap.downlink,
-                    wall_time_s=pending_wall_time,
-                    extras=extras,
-                )
-                history.append(record)
-                pending_wall_time = 0.0
-                pending_stage_times = {}
-                pending_dropouts = 0
-                if verbose:
-                    print(
-                        f"[{self.name}] round {self.round_index}: "
-                        f"S_acc={record.server_acc:.3f} "
-                        f"C_acc={record.mean_client_acc:.3f} "
-                        f"comm={record.comm_total_mb:.2f}MB"
+        # across the rounds between evaluations (and across an interrupted
+        # run via pending_state), so each RoundRecord covers everything
+        # since the previous record even when eval_every > 1
+        with tracer.span(
+            "run",
+            scope="run",
+            attrs={
+                "algorithm": self.name,
+                "rounds": rounds,
+                "eval_every": eval_every,
+                "start_round": self.round_index,
+                "num_clients": self.federation.num_clients,
+                "executor": self.executor.name,
+            },
+        ):
+            for r in range(rounds):
+                start = time.perf_counter()
+                with tracer.span("round", scope="round") as round_span:
+                    participants = self.active_clients()
+                    round_span.set_attr("round", self.round_index + 1)
+                    round_span.set_attr("participants", len(participants))
+                    extras = self.run_round(participants) or {}
+                self.round_index += 1
+                self._pending_wall_time += time.perf_counter() - start
+                for stage_name, seconds in self.executor.pop_stage_times().items():
+                    self._pending_stage_times[stage_name] = (
+                        self._pending_stage_times.get(stage_name, 0.0) + seconds
                     )
-            if autosave and (
-                final_round or self.round_index % checkpoint_every == 0
-            ):
-                save_checkpoint(self, checkpoint_path, history=history)
+                self._pending_dropouts += self.dropout_log.count_for_round(
+                    self.round_index
+                )
+                final_round = r == rounds - 1
+                if final_round or self.round_index % eval_every == 0:
+                    snap = self.channel.mark_round()
+                    extras = dict(extras)
+                    for stage_name, seconds in self._pending_stage_times.items():
+                        extras.setdefault(f"time/{stage_name}", seconds)
+                    if self._pending_dropouts:
+                        extras.setdefault(
+                            "runtime_dropouts", float(self._pending_dropouts)
+                        )
+                    with tracer.span(
+                        "eval", scope="stage", attrs={"round": self.round_index}
+                    ) as eval_span:
+                        server_acc = self.evaluate_server()
+                        client_accs = self.evaluate_clients()
+                        eval_span.set_attr("server_acc", server_acc)
+                    if self.metrics.enabled:
+                        self.metrics.gauge("run/server_acc").set(server_acc)
+                        mean_acc = (
+                            sum(client_accs) / len(client_accs)
+                            if client_accs
+                            else float("nan")
+                        )
+                        self.metrics.gauge("run/mean_client_acc").set(mean_acc)
+                        self.metrics.gauge("run/round_index").set(self.round_index)
+                        for key, value in self.metrics.snapshot().items():
+                            extras.setdefault(key, value)
+                    record = RoundRecord(
+                        round_index=self.round_index,
+                        server_acc=server_acc,
+                        client_accs=client_accs,
+                        comm_uplink_bytes=snap.uplink,
+                        comm_downlink_bytes=snap.downlink,
+                        wall_time_s=self._pending_wall_time,
+                        extras=extras,
+                    )
+                    history.append(record)
+                    tracer.event(
+                        "round_record",
+                        scope="round",
+                        attrs={
+                            "round": record.round_index,
+                            "server_acc": record.server_acc,
+                            "mean_client_acc": record.mean_client_acc,
+                            "comm_mb": record.comm_total_mb,
+                            "wall_time_s": record.wall_time_s,
+                        },
+                    )
+                    self._pending_wall_time = 0.0
+                    self._pending_stage_times = {}
+                    self._pending_dropouts = 0
+                    self.obs.export_metrics()
+                    if verbose:
+                        print(
+                            f"[{self.name}] round {self.round_index}: "
+                            f"S_acc={record.server_acc:.3f} "
+                            f"C_acc={record.mean_client_acc:.3f} "
+                            f"comm={record.comm_total_mb:.2f}MB"
+                        )
+                if autosave and (
+                    final_round or self.round_index % checkpoint_every == 0
+                ):
+                    save_checkpoint(self, checkpoint_path, history=history)
+        self.obs.export_metrics()
         return history

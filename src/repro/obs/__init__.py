@@ -1,0 +1,73 @@
+"""Observability for the FL stack: structured tracing, metrics, profiling.
+
+Three pieces, all zero-dependency (stdlib + the repo's own numpy):
+
+- :class:`Tracer` — JSONL span/event/marker records at run → round →
+  stage → client granularity, crash-safe append-only writes, resume-aware
+  (``docs/OBSERVABILITY.md`` documents the schema);
+- :class:`MetricsRegistry` — counters, gauges and fixed-bucket histograms
+  under a ``scope/name`` naming convention, snapshotted into
+  ``RoundRecord.extras`` each round and exportable as JSONL/CSV;
+- :class:`Observability` — the per-federation bundle of both, built from
+  ``FederationConfig(trace_path=..., metrics_path=...)`` (or the CLI's
+  ``--trace`` / ``--metrics-out``) and disabled by default at near-zero
+  overhead.
+
+Quickstart::
+
+    config = FederationConfig(num_clients=4, trace_path="run.trace.jsonl",
+                              metrics_path="run.metrics.jsonl")
+    fed = build_federation(bundle, config)
+    build_algorithm("fedpkd", fed).run(rounds=2)
+    validate_trace_file("run.trace.jsonl")   # schema-checked JSONL
+"""
+
+from .metrics import (
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .observability import NULL_OBS, Observability
+from .schema import (
+    MARKERS,
+    METRIC_KINDS,
+    RECORD_TYPES,
+    SCHEMA_VERSION,
+    SCOPES,
+    SchemaError,
+    validate_metrics_file,
+    validate_metrics_record,
+    validate_record,
+    validate_trace_file,
+    validate_trace_lines,
+)
+from .tracer import NullTracer, Span, Tracer, configure_logging
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "configure_logging",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_BYTE_BUCKETS",
+    "Observability",
+    "NULL_OBS",
+    "SCHEMA_VERSION",
+    "RECORD_TYPES",
+    "SCOPES",
+    "MARKERS",
+    "METRIC_KINDS",
+    "SchemaError",
+    "validate_record",
+    "validate_trace_lines",
+    "validate_trace_file",
+    "validate_metrics_record",
+    "validate_metrics_file",
+]

@@ -1,0 +1,313 @@
+"""Zero-dependency metrics registry: counters, gauges, fixed-bucket histograms.
+
+Metric names follow the ``scope/name`` convention (``channel/uplink_bytes``,
+``runtime/client_task_seconds``, ``fedpkd/filter_accepted``); the registry
+rejects names that do not.  Producers grab an instrument by name and update
+it — instruments are created on first use and cached:
+
+    metrics.counter("channel/uplink_bytes").inc(size)
+    metrics.gauge("fedpkd/server_loss").set(loss)
+    metrics.histogram("runtime/client_task_seconds").observe(dur)
+
+A **disabled** registry (the default everywhere) hands out a shared no-op
+instrument, so instrumented hot paths cost one method call when
+observability is off.
+
+Two read paths:
+
+- :meth:`MetricsRegistry.snapshot` — a flat ``{name: float}`` dict suitable
+  for merging into ``RoundRecord.extras`` (histograms summarise to
+  ``name/count``, ``name/sum``, ``name/max``);
+- :meth:`MetricsRegistry.export` — full detail (including histogram
+  buckets) written atomically as JSONL or CSV, schema-checked by
+  :func:`repro.obs.schema.validate_metrics_record`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import os
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_BYTE_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-z0-9_.-]+(/[a-z0-9_.-]+)+$")
+
+#: Latency buckets (seconds) — sub-millisecond inference up to minute-long
+#: server distillation phases.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+#: Payload-size buckets (bytes) — prototype uploads (KB) up to model
+#: weights (tens of MB).
+DEFAULT_BYTE_BUCKETS: Tuple[float, ...] = (
+    1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+)
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter '{self.name}' cannot decrease ({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = float("nan")
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are cumulative upper bounds (``le``); an implicit ``+inf``
+    bucket catches the tail.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram '{name}' needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram '{name}' has duplicate bucket bounds")
+        self.name = name
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # + the +inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, ending at +inf."""
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            running += n
+            pairs.append((bound, running))
+        pairs.append((math.inf, self.count))
+        return pairs
+
+
+class _NullInstrument:
+    """Shared no-op instrument handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+Instrument = Union[Counter, Gauge, Histogram, _NullInstrument]
+
+
+class MetricsRegistry:
+    """Named instruments with enforced ``scope/name`` naming."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[str, Instrument] = {}
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    # ------------------------------------------------------------------
+    # instrument access
+    # ------------------------------------------------------------------
+    def _get(self, name: str, factory) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            if not _NAME_RE.match(name):
+                raise ValueError(
+                    f"metric name '{name}' violates the 'scope/name' "
+                    "convention (lowercase [a-z0-9_.-], '/'-separated)"
+                )
+            instrument = factory(name)
+            self._instruments[name] = instrument
+            return instrument
+        expected = factory(name).kind
+        if instrument.kind != expected:
+            raise ValueError(
+                f"metric '{name}' already registered as a {instrument.kind}, "
+                f"cannot reuse it as a {expected}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Instrument:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Instrument:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Instrument:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self._get(
+            name, lambda n: Histogram(n, buckets or DEFAULT_TIME_BUCKETS)
+        )
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{name: value}`` view for ``RoundRecord.extras``.
+
+        Counters and gauges appear under their own name (cumulative totals,
+        matching the channel's cumulative byte accounting); histograms
+        summarise to ``name/count``, ``name/sum`` and ``name/max``.
+        """
+        out: Dict[str, float] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out[f"{name}/count"] = float(instrument.count)
+                out[f"{name}/sum"] = float(instrument.sum)
+                if instrument.count:
+                    out[f"{name}/max"] = float(instrument.max)
+            else:
+                out[name] = float(instrument.value)
+        return out
+
+    def export_records(self) -> List[dict]:
+        """Full-detail records matching the metrics-export schema."""
+        records: List[dict] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                records.append(
+                    {
+                        "metric": name,
+                        "kind": "histogram",
+                        "count": instrument.count,
+                        "sum": instrument.sum,
+                        "min": instrument.min if instrument.count else None,
+                        "max": instrument.max if instrument.count else None,
+                        "buckets": [
+                            [("inf" if math.isinf(le) else le), n]
+                            for le, n in instrument.cumulative_buckets()
+                        ],
+                    }
+                )
+            else:
+                value = float(instrument.value)
+                records.append(
+                    {
+                        "metric": name,
+                        "kind": instrument.kind,
+                        "value": None if math.isnan(value) else value,
+                    }
+                )
+        return records
+
+    def to_csv(self) -> str:
+        """Summary CSV: one row per metric (buckets collapse to count/sum)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["metric", "kind", "value", "count", "sum", "min", "max"])
+        for record in self.export_records():
+            if record["kind"] == "histogram":
+                writer.writerow(
+                    [
+                        record["metric"], "histogram", "",
+                        record["count"], record["sum"],
+                        "" if record["min"] is None else record["min"],
+                        "" if record["max"] is None else record["max"],
+                    ]
+                )
+            else:
+                value = record["value"]
+                writer.writerow(
+                    [record["metric"], record["kind"],
+                     "" if value is None else value, "", "", "", ""]
+                )
+        return buf.getvalue()
+
+    def export(self, path: str) -> None:
+        """Atomically write the registry to ``path`` (.jsonl/.json or .csv)."""
+        if path.endswith(".csv"):
+            payload = self.to_csv()
+        elif path.endswith((".jsonl", ".json")):
+            payload = "".join(
+                json.dumps(record, separators=(",", ":")) + "\n"
+                for record in self.export_records()
+            )
+        else:
+            raise ValueError(
+                f"metrics export path '{path}' must end in .jsonl, .json or .csv"
+            )
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as f:
+                f.write(payload)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp_path, path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)
+
+    def reset(self) -> None:
+        self._instruments.clear()

@@ -1,0 +1,92 @@
+"""The per-federation observability bundle: one tracer + one registry.
+
+:func:`~repro.fl.simulation.build_federation` constructs an
+:class:`Observability` from the :class:`~repro.fl.config.FederationConfig`
+(``trace_path`` / ``metrics_path``) and hangs it on the federation; the
+round engine, the executors, the communication channel, the dropout log
+and the algorithms all publish through it.  When neither path is set the
+bundle is fully disabled — a :class:`~repro.obs.tracer.NullTracer` plus a
+disabled registry — and every instrumented call site degrades to a no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import MetricsRegistry
+from .tracer import NullTracer, Tracer
+
+__all__ = ["Observability", "NULL_OBS"]
+
+
+class Observability:
+    """Tracer + metrics registry + export destination for one run."""
+
+    def __init__(
+        self,
+        tracer=None,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_path: Optional[str] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(enabled=False)
+        )
+        self.metrics_path = metrics_path
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config) -> "Observability":
+        """Build from a config carrying ``trace_path`` / ``metrics_path``.
+
+        Either path switches the whole bundle on (the metrics registry
+        feeds ``RoundRecord.extras`` even when only tracing was asked for);
+        with neither, the bundle is disabled.
+        """
+        trace_path = getattr(config, "trace_path", None)
+        metrics_path = getattr(config, "metrics_path", None)
+        if not trace_path and not metrics_path:
+            return cls.disabled()
+        tracer = Tracer(trace_path) if trace_path else NullTracer()
+        return cls(tracer, MetricsRegistry(enabled=True), metrics_path)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls()
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return bool(self.tracer) or self.metrics.enabled
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def mark_resume(self, round_index: Optional[int] = None) -> None:
+        """Tell the tracer this run continues an earlier one.
+
+        The next trace record then opens the file in append mode behind a
+        ``resume`` marker carrying the restored round index.
+        """
+        attrs = {} if round_index is None else {"round_index": int(round_index)}
+        self.tracer.set_resume(attrs)
+
+    def export_metrics(self) -> None:
+        """Write the registry to ``metrics_path`` (atomic full rewrite)."""
+        if self.metrics_path and self.metrics.enabled:
+            self.metrics.export(self.metrics_path)
+
+    def close(self) -> None:
+        self.export_metrics()
+        self.tracer.close()
+
+
+#: Shared disabled bundle — safe because a disabled bundle holds no state.
+NULL_OBS = Observability()

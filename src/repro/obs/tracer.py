@@ -1,0 +1,304 @@
+"""Structured event tracer emitting JSONL span/event/marker records.
+
+Design constraints (see ``docs/OBSERVABILITY.md``):
+
+- **append-only, crash-safe** — every record is one complete JSON line
+  written and flushed immediately, so a killed run leaves a valid prefix,
+  never a torn record;
+- **monotonic timestamps** — ``ts`` is seconds since the tracer's epoch
+  (``time.monotonic``), immune to wall-clock jumps; markers additionally
+  carry ``unix_ts`` for cross-process alignment;
+- **nesting via context managers** — ``with tracer.span("round", ...)``
+  maintains a span stack, so records carry ``parent_id`` links that
+  reconstruct the run → round → stage → client tree;
+- **resume-aware** — a resumed run calls :meth:`Tracer.set_resume` before
+  the first write; the tracer then appends to the existing file behind a
+  ``resume`` marker instead of truncating it;
+- **zero overhead when disabled** — :class:`NullTracer` (the default
+  everywhere) is falsy and all its methods are no-ops, so call sites can
+  gate expensive attribute computation on ``if tracer:``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from .schema import SCHEMA_VERSION
+
+__all__ = ["Tracer", "NullTracer", "Span", "configure_logging"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce an attribute value into the schema's scalar-or-flat-list form."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if hasattr(value, "item") and not hasattr(value, "__len__"):  # numpy scalar
+        return _jsonify(value.item())
+    if isinstance(value, (list, tuple)) or hasattr(value, "tolist"):
+        items = value.tolist() if hasattr(value, "tolist") else list(value)
+        return [_jsonify(v) for v in items]
+    return str(value)
+
+
+def _jsonify_attrs(attrs: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    if not attrs:
+        return {}
+    return {str(key): _jsonify(value) for key, value in attrs.items()}
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer — the default; keeps instrumented code paths free.
+
+    Falsy, so ``if tracer:`` guards any attribute computation that would
+    only feed the trace.
+    """
+
+    enabled = False
+    path: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, name: str, scope: str = "stage", attrs=None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, scope: str = "stage", attrs=None) -> None:
+        pass
+
+    def marker(self, name: str, attrs=None) -> None:
+        pass
+
+    def set_resume(self, attrs=None) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class Span:
+    """One timed region; records itself on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "scope", "attrs", "span_id", "parent_id", "t_start")
+
+    def __init__(self, tracer: "Tracer", name: str, scope: str, attrs) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.scope = scope
+        self.attrs = dict(attrs or {})
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.t_start = 0.0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.span_id = tracer._new_span_id()
+        self.parent_id = tracer._stack[-1].span_id if tracer._stack else None
+        self.t_start = tracer._now()
+        tracer._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] is self:
+            tracer._stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        tracer._write(
+            {
+                "v": SCHEMA_VERSION,
+                "type": "span",
+                "name": self.name,
+                "scope": self.scope,
+                "ts": self.t_start,
+                "dur_s": max(0.0, tracer._now() - self.t_start),
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "attrs": _jsonify_attrs(self.attrs),
+            }
+        )
+        return False
+
+
+class Tracer:
+    """JSONL tracer writing schema-conformant records to ``path``.
+
+    The file opens lazily on the first record: fresh runs truncate and
+    start with a ``run_start`` marker; after :meth:`set_resume` the tracer
+    appends behind a ``resume`` marker instead, so an interrupted +
+    resumed run yields a single continuous trace.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str, resume: bool = False) -> None:
+        self.path = path
+        self._resume = resume
+        self._resume_attrs: Dict[str, Any] = {}
+        self._file = None
+        self._seq = 0
+        self._stack: List[Span] = []
+        self._next_span_id = 1
+        self._t0 = time.monotonic()
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def _new_span_id(self) -> int:
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        return span_id
+
+    def _ensure_open(self):
+        if self._file is None:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            append = (
+                self._resume
+                and os.path.exists(self.path)
+                and os.path.getsize(self.path) > 0
+            )
+            self._file = open(self.path, "a" if append else "w", encoding="utf-8")
+            self._emit_marker(
+                "resume" if append else "run_start", self._resume_attrs
+            )
+        return self._file
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        f = self._ensure_open()
+        record["seq"] = self._seq
+        self._seq += 1
+        f.write(json.dumps(record, separators=(",", ":")) + "\n")
+        f.flush()
+
+    def _emit_marker(self, name: str, attrs) -> None:
+        self._write(
+            {
+                "v": SCHEMA_VERSION,
+                "type": "marker",
+                "name": name,
+                "ts": self._now(),
+                "unix_ts": time.time(),
+                "attrs": _jsonify_attrs(attrs),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # the emitting API
+    # ------------------------------------------------------------------
+    def span(self, name: str, scope: str = "stage", attrs=None) -> Span:
+        """A context manager recording a timed region on exit."""
+        return Span(self, name, scope, attrs)
+
+    def event(self, name: str, scope: str = "stage", attrs=None) -> None:
+        """Record a point-in-time observation under the current span."""
+        self._write(
+            {
+                "v": SCHEMA_VERSION,
+                "type": "event",
+                "name": name,
+                "scope": scope,
+                "ts": self._now(),
+                "parent_id": self._stack[-1].span_id if self._stack else None,
+                "attrs": _jsonify_attrs(attrs),
+            }
+        )
+
+    def marker(self, name: str, attrs=None) -> None:
+        """Record a lifecycle marker (``run_start`` / ``resume`` / ``run_end``)."""
+        self._ensure_open()
+        self._emit_marker(name, attrs)
+
+    def set_resume(self, attrs=None) -> None:
+        """Declare this process a resume: append to an existing trace.
+
+        Must run before the first record is emitted; the opening marker
+        then becomes ``resume`` (carrying ``attrs``, e.g. the restored
+        round index) and the existing file is appended to, not truncated.
+        If records were already written, a ``resume`` marker is emitted
+        in place instead.
+        """
+        if self._file is not None:
+            self._emit_marker("resume", attrs)
+            return
+        self._resume = True
+        self._resume_attrs = dict(attrs or {})
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        """Close the file; later emissions reopen in append mode."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+            # never truncate a trace we already wrote to
+            self._resume = True
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def configure_logging(level: str = "warning") -> logging.Logger:
+    """Set the verbosity of the ``repro`` logger hierarchy.
+
+    Attaches one stderr handler (idempotent) and returns the root
+    ``repro`` logger; the CLI maps ``--log-level`` here.
+    """
+    numeric = getattr(logging, str(level).upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level '{level}'")
+    logger = logging.getLogger("repro")
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(numeric)
+    return logger

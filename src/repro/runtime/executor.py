@@ -32,6 +32,8 @@ from concurrent.futures import TimeoutError as FuturesTimeout
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..nn.serialize import deserialize_state, serialize_state
+from ..obs import NULL_OBS
+from ..obs.metrics import DEFAULT_TIME_BUCKETS
 from .task import PUBLIC_X, ClientSpec, ClientTask, TaskFailure, TaskResult
 from .worker import init_worker, resolve_kwargs, run_task
 
@@ -48,13 +50,19 @@ class Executor:
     def __init__(self) -> None:
         self._federation = None
         self._stage_times: Dict[str, float] = {}
+        self._obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def bind(self, federation) -> "Executor":
-        """Attach the federation whose clients this executor will drive."""
+        """Attach the federation whose clients this executor will drive.
+
+        Also adopts the federation's observability bundle, so stages are
+        traced and task metrics published when the run is instrumented.
+        """
         self._federation = federation
+        self._obs = getattr(federation, "obs", None) or NULL_OBS
         return self
 
     def close(self) -> None:
@@ -84,6 +92,57 @@ class Executor:
     # ------------------------------------------------------------------
     def _record_time(self, stage: str, seconds: float) -> None:
         self._stage_times[stage] = self._stage_times.get(stage, 0.0) + seconds
+
+    # ------------------------------------------------------------------
+    # observability hooks (all no-ops unless the run is instrumented)
+    # ------------------------------------------------------------------
+    def _stage_span(self, stage: str, num_clients: int):
+        return self._obs.tracer.span(
+            "stage",
+            scope="stage",
+            attrs={"stage": stage, "clients": num_clients, "executor": self.name},
+        )
+
+    def _publish_outcomes(self, stage: str, outcomes: Sequence[Outcome]) -> None:
+        """Emit one client-scoped trace event per task outcome, plus the
+        ``runtime/client_task_seconds`` histogram and failure counters."""
+        obs = self._obs
+        if not obs.enabled:
+            return
+        metrics = obs.metrics
+        hist = (
+            metrics.histogram(
+                "runtime/client_task_seconds", buckets=DEFAULT_TIME_BUCKETS
+            )
+            if metrics.enabled
+            else None
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, TaskFailure):
+                obs.tracer.event(
+                    "task_failure",
+                    scope="client",
+                    attrs={
+                        "stage": stage,
+                        "client_id": outcome.client_id,
+                        "reason": outcome.reason,
+                        "detail": outcome.detail,
+                    },
+                )
+                if metrics.enabled:
+                    metrics.counter("runtime/task_failures").inc()
+            else:
+                obs.tracer.event(
+                    "client_task",
+                    scope="client",
+                    attrs={
+                        "stage": stage,
+                        "client_id": outcome.client_id,
+                        "dur_s": outcome.duration_s,
+                    },
+                )
+                if hist is not None:
+                    hist.observe(outcome.duration_s)
 
     def pop_stage_times(self) -> Dict[str, float]:
         """Return accumulated per-stage seconds and reset the ledger."""
@@ -117,10 +176,13 @@ class SerialExecutor(Executor):
 
     def run_stage(self, clients, method, kwargs=None, stage=None):
         stage = stage or method
+        clients = list(clients)
         start = time.perf_counter()
-        values = [self._run_inline(c, method, kwargs).value for c in clients]
+        with self._stage_span(stage, len(clients)):
+            results = [self._run_inline(c, method, kwargs) for c in clients]
+            self._publish_outcomes(stage, results)
         self._record_time(stage, time.perf_counter() - start)
-        return values, []
+        return [r.value for r in results], []
 
 
 class ParallelExecutor(Executor):
@@ -250,26 +312,35 @@ class ParallelExecutor(Executor):
                     RuntimeWarning,
                 )
                 self._warned_inline = True
-            values = [self._run_inline(c, method, kwargs).value for c in clients]
+            with self._stage_span(stage, len(clients)):
+                results = [self._run_inline(c, method, kwargs) for c in clients]
+                self._publish_outcomes(stage, results)
             self._record_time(stage, time.perf_counter() - start)
-            return values, []
+            return [r.value for r in results], []
 
-        tasks = [self._make_task(c, method, dict(kwargs or {}), stage) for c in clients]
-        outcomes = self._collect(tasks, by_id)
-        values: List[Any] = []
-        failures: List[TaskFailure] = []
-        for outcome, client in zip(outcomes, clients):
-            if isinstance(outcome, TaskFailure):
-                failures.append(outcome)
-            else:
-                self._apply_result(client, outcome)
-                values.append(outcome.value)
-        if failures and not values:
-            # a stage must not lose every participant: rerun inline (the
-            # driver clients are untouched, so this is exactly serial
-            # semantics).  A deterministic task exception still propagates.
-            values = [self._run_inline(c, method, kwargs).value for c in clients]
-            failures = []
+        with self._stage_span(stage, len(clients)):
+            tasks = [
+                self._make_task(c, method, dict(kwargs or {}), stage)
+                for c in clients
+            ]
+            outcomes = self._collect(tasks, by_id)
+            self._publish_outcomes(stage, outcomes)
+            values: List[Any] = []
+            failures: List[TaskFailure] = []
+            for outcome, client in zip(outcomes, clients):
+                if isinstance(outcome, TaskFailure):
+                    failures.append(outcome)
+                else:
+                    self._apply_result(client, outcome)
+                    values.append(outcome.value)
+            if failures and not values:
+                # a stage must not lose every participant: rerun inline (the
+                # driver clients are untouched, so this is exactly serial
+                # semantics).  A deterministic task exception still propagates.
+                results = [self._run_inline(c, method, kwargs) for c in clients]
+                self._publish_outcomes(stage, results)
+                values = [r.value for r in results]
+                failures = []
         self._record_time(stage, time.perf_counter() - start)
         return values, failures
 
@@ -313,6 +384,14 @@ class ParallelExecutor(Executor):
             # code; it propagates exactly as it would under SerialExecutor
 
             recycles += 1
+            if self._obs.enabled:
+                self._obs.tracer.event(
+                    "pool_recycle",
+                    scope="stage",
+                    attrs={"stage": tasks[i].stage, "recycles": recycles},
+                )
+                if self._obs.metrics.enabled:
+                    self._obs.metrics.counter("runtime/pool_recycles").inc()
             self._recycle_pool()
             remaining = [j for j in pending if outcomes[j] is None]
             if recycles > self._MAX_RECYCLES_PER_STAGE:

@@ -155,3 +155,45 @@ class TestPersistence:
         )
         assert len(restored) == 3
         assert restored.final_server_acc == 0.6
+
+
+class TestToCsv:
+    def make_history(self):
+        h = RunHistory("algo", dataset="ds")
+        r1 = record(1, 0.3, [0.2, 0.4])
+        r1.extras = {"time/local_train": 1.5}
+        r2 = record(2, float("nan"), [0.3, 0.5], up=2 * MB)
+        r2.extras = {"time/local_train": 1.0, "runtime_dropouts": 2.0}
+        h.append(r1)
+        h.append(r2)
+        return h
+
+    def test_header_has_fixed_columns_then_sorted_extras(self):
+        lines = self.make_history().to_csv().strip().splitlines()
+        header = lines[0].split(",")
+        assert header[:7] == [
+            "round_index",
+            "server_acc",
+            "mean_client_acc",
+            "comm_uplink_bytes",
+            "comm_downlink_bytes",
+            "comm_total_mb",
+            "wall_time_s",
+        ]
+        # union of extras keys, sorted; records missing a key leave a gap
+        assert header[7:] == ["runtime_dropouts", "time/local_train"]
+
+    def test_rows_align_with_records(self):
+        lines = self.make_history().to_csv().strip().splitlines()
+        row1 = lines[1].split(",")
+        row2 = lines[2].split(",")
+        assert row1[0] == "1" and row2[0] == "2"
+        assert float(row1[1]) == pytest.approx(0.3)
+        assert row2[1] == ""  # NaN renders as an empty cell
+        assert row1[7] == ""  # no runtime_dropouts in round 1
+        assert float(row2[7]) == pytest.approx(2.0)
+        assert float(row2[8]) == pytest.approx(1.0)
+
+    def test_empty_history(self):
+        lines = RunHistory("algo").to_csv().strip().splitlines()
+        assert len(lines) == 1  # header only

@@ -1,0 +1,113 @@
+"""MetricsRegistry semantics, naming convention, and export round-trips."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    validate_metrics_file,
+)
+from repro.obs.metrics import _NULL_INSTRUMENT
+
+
+def test_counter_accumulates_and_rejects_decrease():
+    registry = MetricsRegistry()
+    counter = registry.counter("scope/total")
+    counter.inc()
+    counter.inc(4)
+    assert registry.snapshot()["scope/total"] == 5.0
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_holds_last_value():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("scope/loss")
+    assert math.isnan(registry.snapshot()["scope/loss"])
+    gauge.set(2.5)
+    gauge.set(1.25)
+    assert registry.snapshot()["scope/loss"] == 1.25
+
+
+def test_histogram_buckets_and_summary():
+    registry = MetricsRegistry()
+    hist = registry.histogram("scope/seconds", buckets=(1.0, 10.0))
+    for value in (0.5, 0.7, 5.0, 50.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(56.2)
+    assert hist.min == 0.5 and hist.max == 50.0
+    assert hist.cumulative_buckets() == [(1.0, 2), (10.0, 3), (math.inf, 4)]
+    snap = registry.snapshot()
+    assert snap["scope/seconds/count"] == 4.0
+    assert snap["scope/seconds/max"] == 50.0
+
+
+def test_name_convention_enforced():
+    registry = MetricsRegistry()
+    for bad in ("nocategory", "Upper/case", "a/b c", "/leading", "trailing/"):
+        with pytest.raises(ValueError):
+            registry.counter(bad)
+    # multi-level names are fine
+    registry.counter("a/b/c").inc()
+
+
+def test_kind_mismatch_rejected():
+    registry = MetricsRegistry()
+    registry.counter("scope/x")
+    with pytest.raises(ValueError):
+        registry.gauge("scope/x")
+    with pytest.raises(ValueError):
+        registry.histogram("scope/x")
+
+
+def test_same_instrument_returned_on_reuse():
+    registry = MetricsRegistry()
+    assert registry.counter("scope/x") is registry.counter("scope/x")
+
+
+def test_disabled_registry_hands_out_noops():
+    registry = MetricsRegistry(enabled=False)
+    assert not registry
+    assert registry.counter("anything-goes") is _NULL_INSTRUMENT
+    registry.counter("scope/x").inc()
+    registry.gauge("scope/y").set(1.0)
+    registry.histogram("scope/z").observe(2.0)
+    assert registry.snapshot() == {}
+
+
+def test_jsonl_export_validates(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("scope/total").inc(3)
+    registry.gauge("scope/loss").set(0.5)
+    registry.gauge("scope/never_set")  # exports null
+    registry.histogram("scope/seconds", buckets=(1.0,)).observe(0.2)
+    path = str(tmp_path / "m.jsonl")
+    registry.export(path)
+    assert validate_metrics_file(path) == 4
+
+
+def test_csv_export(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("scope/total").inc(3)
+    registry.histogram("scope/seconds", buckets=(1.0,)).observe(0.2)
+    path = str(tmp_path / "m.csv")
+    registry.export(path)
+    lines = open(path).read().strip().splitlines()
+    assert lines[0].startswith("metric,kind,value")
+    assert any(line.startswith("scope/total,counter,3") for line in lines)
+    assert any(line.startswith("scope/seconds,histogram") for line in lines)
+
+
+def test_export_rejects_unknown_extension(tmp_path):
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.export(str(tmp_path / "m.txt"))
+
+
+def test_reset_clears_instruments():
+    registry = MetricsRegistry()
+    registry.counter("scope/x").inc()
+    registry.reset()
+    assert registry.snapshot() == {}

@@ -1,0 +1,148 @@
+"""Tracer behaviour: nesting, crash safety, resume markers, no-op default."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import NullTracer, Tracer, configure_logging, validate_trace_file
+
+
+def read_records(path):
+    with open(path) as f:
+        return [json.loads(line) for line in f]
+
+
+def test_fresh_trace_starts_with_run_start_marker(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    tracer = Tracer(path)
+    tracer.event("hello", scope="run")
+    tracer.close()
+    records = read_records(path)
+    assert records[0]["type"] == "marker"
+    assert records[0]["name"] == "run_start"
+    assert records[1]["name"] == "hello"
+    validate_trace_file(path)
+
+
+def test_span_nesting_assigns_parent_ids(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    tracer = Tracer(path)
+    with tracer.span("run", scope="run") as run_span:
+        with tracer.span("round", scope="round") as round_span:
+            tracer.event("inside", scope="stage")
+    tracer.close()
+    records = {r["name"]: r for r in read_records(path)}
+    # spans are written at exit, innermost first
+    assert records["round"]["parent_id"] == run_span.span_id
+    assert records["run"]["parent_id"] is None
+    assert records["inside"]["parent_id"] == round_span.span_id
+    assert records["round"]["span_id"] != records["run"]["span_id"]
+    assert records["run"]["dur_s"] >= records["round"]["dur_s"]
+    validate_trace_file(path)
+
+
+def test_span_attrs_and_set_attr(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    tracer = Tracer(path)
+    with tracer.span("round", scope="round", attrs={"round": 1}) as span:
+        span.set_attr("participants", np.int64(4))
+        span.set_attr("accs", np.array([0.5, float("nan")]))
+    tracer.close()
+    (record,) = [r for r in read_records(path) if r["type"] == "span"]
+    assert record["attrs"]["round"] == 1
+    assert record["attrs"]["participants"] == 4
+    # non-finite floats become null so every line stays strict JSON
+    assert record["attrs"]["accs"] == [0.5, None]
+    validate_trace_file(path)
+
+
+def test_exception_inside_span_records_error_attr(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    tracer = Tracer(path)
+    with pytest.raises(RuntimeError):
+        with tracer.span("round", scope="round"):
+            raise RuntimeError("boom")
+    tracer.close()
+    (record,) = [r for r in read_records(path) if r["type"] == "span"]
+    assert record["attrs"]["error"] == "RuntimeError"
+    validate_trace_file(path)
+
+
+def test_every_line_is_complete_json_mid_run(tmp_path):
+    """Crash safety: the file is valid JSONL even before close()."""
+    path = str(tmp_path / "t.jsonl")
+    tracer = Tracer(path)
+    for i in range(5):
+        tracer.event("tick", scope="run", attrs={"i": i})
+    # no close/flush beyond the per-record flush
+    records = read_records(path)
+    assert len(records) == 6  # marker + 5 events
+    validate_trace_file(path)
+    tracer.close()
+
+
+def test_set_resume_before_first_write_appends(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    first = Tracer(path)
+    first.event("before", scope="run")
+    first.close()
+
+    second = Tracer(path)
+    second.set_resume({"round_index": 3})
+    second.event("after", scope="run")
+    second.close()
+
+    records = read_records(path)
+    names = [r["name"] for r in records]
+    assert names == ["run_start", "before", "resume", "after"]
+    resume = records[2]
+    assert resume["type"] == "marker"
+    assert resume["attrs"]["round_index"] == 3
+    # seq restarts at each process's opening marker
+    assert records[3]["seq"] == resume["seq"] + 1
+    validate_trace_file(path)
+
+
+def test_resume_without_existing_file_starts_fresh(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    tracer = Tracer(path)
+    tracer.set_resume()
+    tracer.event("x", scope="run")
+    tracer.close()
+    records = read_records(path)
+    assert records[0]["name"] == "run_start"
+    validate_trace_file(path)
+
+
+def test_close_then_reopen_appends_not_truncates(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    tracer = Tracer(path)
+    tracer.event("one", scope="run")
+    tracer.close()
+    tracer.event("two", scope="run")
+    tracer.close()
+    names = [r["name"] for r in read_records(path)]
+    assert names == ["run_start", "one", "resume", "two"]
+    validate_trace_file(path)
+
+
+def test_null_tracer_is_falsy_noop(tmp_path):
+    tracer = NullTracer()
+    assert not tracer
+    assert tracer.enabled is False
+    with tracer.span("x") as span:
+        span.set_attr("a", 1)
+    tracer.event("y")
+    tracer.marker("run_end")
+    tracer.set_resume()
+    tracer.flush()
+    tracer.close()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_configure_logging_rejects_unknown_level():
+    with pytest.raises(ValueError):
+        configure_logging("chatty")
+    logger = configure_logging("warning")
+    assert logger.name == "repro"

@@ -1,0 +1,93 @@
+"""Executor.pop_stage_times(): drain-on-read, accumulation, executor parity."""
+
+from repro.algorithms import build_algorithm
+from repro.runtime import ParallelExecutor, SerialExecutor
+
+from ..conftest import make_tiny_federation
+
+
+def _bound_serial(bundle):
+    fed = make_tiny_federation(bundle, num_clients=3)
+    return fed, fed.executor
+
+
+class TestPopStageTimes:
+    def test_empty_before_any_stage(self, tiny_bundle):
+        fed, executor = _bound_serial(tiny_bundle)
+        try:
+            assert executor.pop_stage_times() == {}
+        finally:
+            fed.close()
+
+    def test_drained_on_read(self, tiny_bundle):
+        fed, executor = _bound_serial(tiny_bundle)
+        try:
+            executor.run_stage(fed.clients, "class_counts", stage="counts")
+            times = executor.pop_stage_times()
+            assert set(times) == {"counts"}
+            assert times["counts"] >= 0.0
+            # the ledger resets on read
+            assert executor.pop_stage_times() == {}
+        finally:
+            fed.close()
+
+    def test_accumulates_across_run_stage_calls(self, tiny_bundle):
+        fed, executor = _bound_serial(tiny_bundle)
+        try:
+            executor.run_stage(fed.clients, "class_counts", stage="counts")
+            first = executor.pop_stage_times()["counts"]
+            executor.run_stage(fed.clients, "class_counts", stage="counts")
+            executor.run_stage(fed.clients, "class_counts", stage="counts")
+            both = executor.pop_stage_times()
+            # two invocations of the same stage fold into one entry
+            assert set(both) == {"counts"}
+            assert both["counts"] > 0.0
+            assert first >= 0.0
+        finally:
+            fed.close()
+
+    def test_distinct_stages_tracked_separately(self, tiny_bundle):
+        fed, executor = _bound_serial(tiny_bundle)
+        try:
+            executor.run_stage(fed.clients, "class_counts", stage="a")
+            executor.run_stage(fed.clients, "class_counts", stage="b")
+            assert set(executor.pop_stage_times()) == {"a", "b"}
+        finally:
+            fed.close()
+
+    def test_stage_defaults_to_method_name(self, tiny_bundle):
+        fed, executor = _bound_serial(tiny_bundle)
+        try:
+            executor.run_stage(fed.clients, "class_counts")
+            assert set(executor.pop_stage_times()) == {"class_counts"}
+        finally:
+            fed.close()
+
+
+class TestSerialParallelParity:
+    def test_same_stage_keys_both_executors(self, tiny_bundle):
+        """A full algorithm round produces the same stage-time keys under
+        the serial and the parallel executor (values differ — wall time)."""
+        histories = {}
+        for executor in ("serial", "parallel"):
+            fed = make_tiny_federation(
+                tiny_bundle,
+                num_clients=3,
+                executor=executor,
+                max_workers=2 if executor == "parallel" else None,
+            )
+            algo = build_algorithm("fedpkd", fed, seed=0, epoch_scale=0.1)
+            try:
+                histories[executor] = algo.run(1, eval_every=1)
+            finally:
+                fed.close()
+        time_keys = {
+            executor: {
+                k
+                for k in history.records[-1].extras
+                if k.startswith("time/")
+            }
+            for executor, history in histories.items()
+        }
+        assert time_keys["serial"] == time_keys["parallel"]
+        assert time_keys["serial"]  # fedpkd runs at least local_train stages

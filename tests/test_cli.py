@@ -107,3 +107,86 @@ class TestResume:
                     assert math.isnan(y)
                 else:
                     assert x == y
+
+
+class TestResultsCommand:
+    def _write_history(self, tmp_path, capsys, name="hist.json", rounds="2"):
+        out = tmp_path / name
+        assert (
+            main(
+                ["run", "--algorithm", "fedmd", "--scale", "tiny",
+                 "--rounds", rounds, "--out", str(out)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return out
+
+    def test_results_tabulates_histories(self, tmp_path, capsys):
+        out = self._write_history(tmp_path, capsys)
+        assert main(["results", str(out), "--target", "0.05"]) == 0
+        printed = capsys.readouterr().out
+        assert "final_S_acc" in printed
+        assert "MB_to_0.05" in printed
+        assert "fedmd" in printed
+
+    def test_results_multiple_files(self, tmp_path, capsys):
+        a = self._write_history(tmp_path, capsys, name="a.json", rounds="1")
+        b = self._write_history(tmp_path, capsys, name="b.json", rounds="1")
+        assert main(["results", str(a), str(b)]) == 0
+        printed = capsys.readouterr().out
+        # one row per file after the header + separator
+        assert len(printed.strip().splitlines()) == 4
+
+    def test_results_csv_export(self, tmp_path, capsys):
+        out = self._write_history(tmp_path, capsys)
+        csv_path = tmp_path / "rounds.csv"
+        assert main(["results", str(out), "--csv", str(csv_path)]) == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("round_index,server_acc")
+        assert len(lines) == 3  # header + 2 rounds
+
+    def test_results_csv_rejects_multiple_files(self, tmp_path, capsys):
+        a = self._write_history(tmp_path, capsys, name="a.json", rounds="1")
+        b = self._write_history(tmp_path, capsys, name="b.json", rounds="1")
+        code = main(
+            ["results", str(a), str(b), "--csv", str(tmp_path / "x.csv")]
+        )
+        assert code == 2
+        assert "single history" in capsys.readouterr().err
+
+    def test_results_unreadable_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["results", str(bad)]) == 2
+        assert "cannot read history" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_run_with_trace_and_metrics(self, tmp_path, capsys):
+        from repro.obs import validate_metrics_file, validate_trace_file
+
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.jsonl"
+        code = main(
+            ["run", "--algorithm", "fedmd", "--scale", "tiny", "--rounds", "1",
+             "--trace", str(trace), "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "trace written to" in printed
+        assert "metrics written to" in printed
+        assert validate_trace_file(str(trace)) > 0
+        assert validate_metrics_file(str(metrics)) > 0
+
+    def test_log_level_flag(self, capsys):
+        import logging
+
+        # the flag is top-level: it must parse before the subcommand
+        code = main(
+            ["--log-level", "debug", "run", "--algorithm", "fedmd",
+             "--scale", "tiny", "--rounds", "1"]
+        )
+        assert code == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        logging.getLogger("repro").setLevel(logging.WARNING)
