@@ -1,19 +1,21 @@
 #!/usr/bin/env python
 """Validate a trace (and optionally a metrics export) against the obs schema.
 
-Exit 0 when every file validates and all expectations hold, 1 otherwise.
+Thin wrapper over :func:`repro.lint.traces.validate_traces` — the same
+logic CI runs through ``repro lint --traces``.  Kept for muscle memory:
 
     PYTHONPATH=src python scripts/validate_trace.py run.trace.jsonl \
         --metrics run.metrics.jsonl \
         --expect-scopes run,round,stage,client \
         --expect-events fedpkd/filter,fedpkd/aggregate
+
+Exit 0 when every file validates and all expectations hold, 1 otherwise.
 """
 
 import argparse
-import json
 import sys
 
-from repro.obs import SchemaError, validate_metrics_file, validate_trace_file
+from repro.lint.traces import validate_traces
 
 
 def _csv(value):
@@ -42,37 +44,17 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    try:
-        count = validate_trace_file(args.trace)
-    except (SchemaError, OSError) as exc:
-        print(f"INVALID {args.trace}: {exc}", file=sys.stderr)
-        return 1
-    print(f"ok {args.trace}: {count} records")
-
-    if args.expect_scopes or args.expect_events:
-        with open(args.trace) as f:
-            records = [json.loads(line) for line in f]
-        scopes = {r.get("scope") for r in records} - {None}
-        names = {r["name"] for r in records}
-        missing_scopes = sorted(set(args.expect_scopes) - scopes)
-        missing_events = sorted(set(args.expect_events) - names)
-        if missing_scopes or missing_events:
-            if missing_scopes:
-                print(f"missing scopes: {missing_scopes}", file=sys.stderr)
-            if missing_events:
-                print(f"missing events: {missing_events}", file=sys.stderr)
-            return 1
-        print(f"ok expectations: scopes={sorted(scopes)}")
-
-    if args.metrics:
-        try:
-            count = validate_metrics_file(args.metrics)
-        except (SchemaError, OSError) as exc:
-            print(f"INVALID {args.metrics}: {exc}", file=sys.stderr)
-            return 1
-        print(f"ok {args.metrics}: {count} metrics")
-
-    return 0
+    result = validate_traces(
+        args.trace,
+        metrics_path=args.metrics,
+        expect_scopes=args.expect_scopes,
+        expect_events=args.expect_events,
+    )
+    for line in result.messages:
+        print(line)
+    for line in result.errors:
+        print(line, file=sys.stderr)
+    return 0 if result.ok else 1
 
 
 if __name__ == "__main__":

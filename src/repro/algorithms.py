@@ -7,7 +7,7 @@ The experiment harness and the examples construct runs through
 from __future__ import annotations
 
 from dataclasses import fields, is_dataclass, replace
-from typing import Dict, Optional, Tuple, Type
+from typing import Dict, Tuple
 
 from .baselines import (
     DSFL,

@@ -9,7 +9,7 @@ networkx and find communities.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 import networkx as nx
 import numpy as np

@@ -9,7 +9,7 @@ worst-decile accuracy and a Jain fairness index.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ a trained model so users can debug *why* filtering or the prototype loss is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 from scipy.spatial.distance import cdist

@@ -43,6 +43,8 @@ class FedAvg(FederatedAlgorithm):
     def _check_homogeneous(self) -> None:
         global_keys = set(self.server.model.state_dict())
         for client in self.clients:
+            # lint: disable=comm-unmetered-exchange — construction-time
+            # validation comparing key sets; no payload leaves the client.
             if set(client.model.state_dict()) != global_keys:
                 raise ValueError(
                     "FedAvg requires identical architectures on every client "

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from ..core.aggregation import equal_average_aggregate
 from ..fl.client import FLClient

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro run --algorithm fedpkd --dataset cifar10 \
         --partition dir0.1 --scale tiny --rounds 5 --out history.json \
@@ -10,10 +10,14 @@ Three subcommands::
 
     python -m repro results history1.json history2.json --target 0.5
 
+    python -m repro lint src --baseline .reprolint-baseline.json
+
 ``run`` executes one algorithm and writes its RunHistory as JSON (with
 optional observability outputs; see docs/OBSERVABILITY.md); ``experiment``
 regenerates one paper figure/table and prints its rows; ``results``
-tabulates saved history JSON files.
+tabulates saved history JSON files; ``lint`` runs the repo's static
+analysis rules (or, with ``--traces``, validates observability output;
+see docs/LINT.md).
 """
 
 from __future__ import annotations
@@ -126,6 +130,10 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
     exp_p.add_argument("--scale", choices=sorted(SCALES), default="tiny")
     exp_p.add_argument("--seed", type=int, default=0)
+
+    from .lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
 
     res_p = sub.add_parser(
         "results", help="tabulate saved RunHistory JSON files"
@@ -269,6 +277,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "results":
         return _cmd_results(args)
+    if args.command == "lint":
+        from .lint.cli import cmd_lint
+
+        return cmd_lint(args)
     return _cmd_experiment(args)
 
 

@@ -7,7 +7,7 @@ entropy-reduction aggregation.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

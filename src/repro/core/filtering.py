@@ -12,7 +12,6 @@ the server later sends back to clients.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

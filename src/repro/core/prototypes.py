@@ -11,7 +11,7 @@ rows marking classes a client (or the federation) has no data for.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

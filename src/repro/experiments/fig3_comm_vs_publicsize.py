@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List
 
-import numpy as np
 
 from ..nn.models import build_model
 from ..nn.serialize import WIRE_DTYPE

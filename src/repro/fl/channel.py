@@ -9,7 +9,7 @@ per-direction, and per-round ledgers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from ..nn.serialize import Payload, payload_num_bytes

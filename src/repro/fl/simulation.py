@@ -11,7 +11,7 @@ failure injection, and history recording.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from ..obs import NULL_OBS, Observability
 from ..runtime import Executor, SerialExecutor, make_executor
 from .channel import CommChannel
 from .client import FLClient
-from .config import FederationConfig, TrainingConfig
+from .config import FederationConfig
 from .failures import DropoutLog, ParticipationSampler
 from .metrics import RoundRecord, RunHistory
 from .server import FLServer

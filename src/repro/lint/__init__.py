@@ -1,0 +1,52 @@
+"""repro.lint — AST-based static analysis for the repo's own invariants.
+
+The headline guarantees (bit-identical serial/parallel histories, exact
+resume, obs-off invariance, honest communication accounting) rest on
+coding conventions; this package machine-checks them.  Zero third-party
+dependencies: parsing is stdlib :mod:`ast`.
+
+Pieces:
+
+- :class:`LintEngine` — walks files, parses, dispatches registered rules,
+  honours ``# lint: disable=`` pragmas;
+- rule packs under :mod:`repro.lint.rules` (determinism, comm, autograd,
+  obs, hygiene), self-registered with catalog metadata;
+- :class:`Baseline` — checked-in grandfathered findings
+  (``.reprolint-baseline.json``) with per-entry justifications;
+- reporters (text with ``file:line:col`` output, JSON);
+- :mod:`repro.lint.traces` — trace/metrics schema validation, exposed as
+  ``repro lint --traces`` so CI has one lint entrypoint.
+
+Quickstart::
+
+    repro lint src/ --baseline .reprolint-baseline.json
+
+See ``docs/LINT.md`` for the rule catalog and the pragma/baseline
+workflow.
+"""
+
+from .baseline import Baseline, BaselineEntry
+from .engine import LintEngine, LintResult, ModuleContext, module_name_for
+from .findings import SEVERITIES, Finding
+from .pragmas import PragmaIndex
+from .registry import Rule, all_rules, get_rule, packs, register
+from .reporters import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "SEVERITIES",
+    "LintEngine",
+    "LintResult",
+    "ModuleContext",
+    "module_name_for",
+    "PragmaIndex",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "packs",
+    "render_text",
+    "render_json",
+]

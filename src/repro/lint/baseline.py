@@ -1,0 +1,153 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the linter be adopted on a codebase with pre-existing,
+deliberate violations without weakening the rules: every entry names the
+rule, file, and exact message it grandfathers, plus a human
+justification.  A finding that matches an entry is reported as
+*baselined* and does not fail the run; a finding with no entry fails it.
+Line numbers are deliberately not part of the match (unrelated edits move
+code), so a baselined finding survives reformatting but not a content
+change.
+
+Format (``.reprolint-baseline.json`` at the repo root)::
+
+    {"version": 1,
+     "entries": [{"rule": "...", "path": "...", "message": "...",
+                  "justification": "why this is intentional"}]}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    justification: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """An ordered set of grandfathered findings."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        self._by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+            e.key(): e for e in self.entries
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.key() in self._by_key
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split ``findings`` into (new, baselined) and report stale entries.
+
+        A stale entry matched nothing this run — the violation it
+        grandfathered was fixed, so the entry should be deleted.
+        """
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        hit = set()
+        for finding in findings:
+            if self.matches(finding):
+                baselined.append(finding)
+                hit.add(finding.key())
+            else:
+                new.append(finding)
+        stale = [e for e in self.entries if e.key() not in hit]
+        return new, baselined, stale
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], justification: str = "grandfathered"
+    ) -> "Baseline":
+        seen = set()
+        entries = []
+        for f in sorted(findings, key=Finding.key):
+            if f.key() in seen:
+                continue
+            seen.add(f.key())
+            entries.append(
+                BaselineEntry(
+                    rule=f.rule,
+                    path=f.path,
+                    message=f.message,
+                    justification=justification,
+                )
+            )
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Load ``path``; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        with open(path) as f:
+            data = json.load(f)
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                rule=e["rule"],
+                path=e["path"],
+                message=e["message"],
+                justification=e.get("justification", ""),
+            )
+            for e in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        """Write atomically with stable ordering (reviewable diffs)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                e.to_dict() for e in sorted(self.entries, key=BaselineEntry.key)
+            ],
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(payload, f, indent=2, sort_keys=True)
+                f.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

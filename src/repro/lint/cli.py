@@ -1,0 +1,186 @@
+"""``repro lint`` subcommand.
+
+Two modes behind one entrypoint:
+
+- static analysis (default)::
+
+      repro lint src/ --baseline .reprolint-baseline.json
+      repro lint src/ --format json
+      repro lint src/ --write-baseline .reprolint-baseline.json
+
+- trace validation (``--traces``): the files are JSONL traces, checked
+  against the :mod:`repro.obs` schema::
+
+      repro lint --traces run.trace.jsonl --metrics run.metrics.jsonl \\
+          --expect-scopes run,round --expect-events fedpkd/filter
+
+Exit codes: 0 clean, 1 findings/validation failures, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .baseline import Baseline
+from .engine import LintEngine
+from .reporters import render_json, render_text
+
+__all__ = ["add_lint_parser", "cmd_lint", "main"]
+
+
+def _csv(value: str) -> List[str]:
+    return [item for item in value.split(",") if item]
+
+
+def add_lint_parser(sub) -> argparse.ArgumentParser:
+    """Attach the ``lint`` subparser to a ``repro`` subparsers object."""
+    lint_p = sub.add_parser(
+        "lint",
+        help="static analysis of the source tree (or --traces validation)",
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to lint (default: src); trace files with --traces",
+    )
+    lint_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="grandfathered-findings file; matching findings do not fail the run",
+    )
+    lint_p.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write all current findings to PATH as the new baseline and exit 0",
+    )
+    lint_p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="report format (default: text)",
+    )
+    lint_p.add_argument(
+        "--rules",
+        type=_csv,
+        default=None,
+        metavar="R1,R2",
+        help="run only these rule ids",
+    )
+    lint_p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined (grandfathered) findings",
+    )
+    lint_p.add_argument(
+        "--traces",
+        action="store_true",
+        help="treat the paths as JSONL traces and validate them against "
+        "the obs schema instead of linting source",
+    )
+    lint_p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="with --traces: also validate this metrics export",
+    )
+    lint_p.add_argument(
+        "--expect-scopes",
+        type=_csv,
+        default=[],
+        metavar="S1,S2",
+        help="with --traces: fail unless every listed scope appears",
+    )
+    lint_p.add_argument(
+        "--expect-events",
+        type=_csv,
+        default=[],
+        metavar="N1,N2",
+        help="with --traces: fail unless every listed span/event name appears",
+    )
+    return lint_p
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from .traces import validate_traces
+
+    if not args.paths:
+        print("--traces needs at least one trace file", file=sys.stderr)
+        return 2
+    exit_code = 0
+    for trace in args.paths:
+        result = validate_traces(
+            trace,
+            metrics_path=args.metrics,
+            expect_scopes=args.expect_scopes,
+            expect_events=args.expect_events,
+        )
+        for line in result.messages:
+            print(line)
+        for line in result.errors:
+            print(line, file=sys.stderr)
+        if not result.ok:
+            exit_code = 1
+    return exit_code
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.traces:
+        return _cmd_traces(args)
+
+    engine = LintEngine()
+    if args.rules:
+        known = {rule.id: rule for rule in engine.rules}
+        unknown = [r for r in args.rules if r not in known]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        engine.rules = [known[r] for r in args.rules]
+
+    try:
+        baseline = Baseline.load(args.baseline) if args.baseline else None
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read baseline '{args.baseline}': {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        result = engine.lint_paths(args.paths, baseline=baseline)
+    except OSError as exc:
+        print(f"cannot lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        merged = result.findings + result.baselined
+        Baseline.from_findings(merged, justification="TODO: justify").save(
+            args.write_baseline
+        )
+        print(
+            f"baseline with {len(merged)} finding(s) written to "
+            f"{args.write_baseline}; fill in the justifications"
+        )
+        return 0
+
+    if args.output_format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entrypoint (``python -m repro.lint.cli``)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    parser = argparse.ArgumentParser(prog="repro lint")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_lint_parser(sub)
+    return cmd_lint(parser.parse_args(["lint", *argv]))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

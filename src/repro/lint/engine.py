@@ -1,0 +1,193 @@
+"""The lint engine: file discovery, parsing, rule dispatch, suppression.
+
+Zero third-party dependencies — parsing is stdlib :mod:`ast`, so the
+engine analyses exactly what CPython would execute and never needs the
+code imported (fixture files with deliberate violations stay inert).
+
+Flow per file: parse → build a :class:`ModuleContext` → run every rule
+whose package scope covers the module → drop findings suppressed by
+``# lint: disable`` pragmas.  Baseline application is a separate step
+(:meth:`repro.lint.baseline.Baseline.apply`) so callers can distinguish
+*new* findings from *grandfathered* ones.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline, BaselineEntry
+from .findings import Finding
+from .pragmas import PragmaIndex
+from .registry import Rule, all_rules
+
+__all__ = ["ModuleContext", "LintResult", "LintEngine", "module_name_for"]
+
+
+def module_name_for(path: str) -> str:
+    """Derive a dotted module name from a file path.
+
+    ``src/repro/nn/tensor.py`` → ``repro.nn.tensor``.  Anything without a
+    ``repro`` component gets its bare stem, which only unscoped rules
+    match — callers who want package-scoped rules on loose files pass an
+    explicit module name instead.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    stem = [p[:-3] if p.endswith(".py") else p for p in parts]
+    if stem and stem[-1] == "__init__":
+        stem = stem[:-1]
+    if "repro" in stem:
+        stem = stem[stem.index("repro"):]
+        return ".".join(stem)
+    return stem[-1] if stem else ""
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one module."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str, module: Optional[str] = None
+    ) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            module=module if module is not None else module_name_for(path),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+
+    def is_package_init(self) -> bool:
+        return os.path.basename(self.path) == "__init__.py"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint pass (before and after baseline application)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing new was found (baselined findings pass)."""
+        return not self.findings
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed += other.suppressed
+        self.files += other.files
+
+
+def _iter_py_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d
+                    for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+        else:
+            yield path
+
+
+def _position(node) -> Tuple[int, int]:
+    if isinstance(node, tuple):
+        return node
+    return getattr(node, "lineno", 1), getattr(node, "col_offset", 0)
+
+
+class LintEngine:
+    """Run a set of rules over files, sources, or whole trees."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        root: Optional[str] = None,
+    ) -> None:
+        self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
+        self.root = root or os.getcwd()
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def lint_source(
+        self,
+        source: str,
+        path: str = "<snippet>",
+        module: Optional[str] = None,
+    ) -> LintResult:
+        result = LintResult(files=1)
+        try:
+            ctx = ModuleContext.from_source(source, path, module=module)
+        except SyntaxError as exc:
+            result.findings.append(
+                Finding(
+                    rule="syntax-error",
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"cannot parse: {exc.msg}",
+                )
+            )
+            return result
+        pragmas = PragmaIndex.from_source(source)
+        for rule in self.rules:
+            if not rule.applies_to(ctx.module):
+                continue
+            for node, message in rule.check(ctx):
+                line, col = _position(node)
+                if pragmas.suppresses(rule.id, line):
+                    result.suppressed += 1
+                    continue
+                result.findings.append(
+                    Finding(
+                        rule=rule.id,
+                        path=path,
+                        line=line,
+                        col=col,
+                        message=message,
+                        severity=rule.severity,
+                    )
+                )
+        result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return result
+
+    def lint_file(self, path: str) -> LintResult:
+        with open(path, encoding="utf-8") as f:
+            source = f.read()
+        display = os.path.relpath(path, self.root)
+        if display.startswith(".."):
+            display = path
+        return self.lint_source(source, path=display.replace(os.sep, "/"))
+
+    def lint_paths(
+        self, paths: Sequence[str], baseline: Optional[Baseline] = None
+    ) -> LintResult:
+        result = LintResult()
+        for path in _iter_py_files(paths):
+            result.extend(self.lint_file(path))
+        result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        if baseline is not None:
+            new, baselined, stale = baseline.apply(result.findings)
+            result.findings = new
+            result.baselined = baselined
+            result.stale_baseline = stale
+        return result

@@ -1,0 +1,42 @@
+"""Render a :class:`~repro.lint.engine.LintResult` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .engine import LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: one ``file:line:col`` line per finding."""
+    lines: List[str] = [f.render() for f in result.findings]
+    if verbose and result.baselined:
+        lines.append("")
+        lines.append(f"baselined ({len(result.baselined)} grandfathered):")
+        lines.extend(f"  {f.render()}" for f in result.baselined)
+    for entry in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry (violation no longer found, delete it): "
+            f"{entry.rule} {entry.path} {entry.message!r}"
+        )
+    lines.append(
+        f"{result.files} file(s): {len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, {result.suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "stale_baseline": [e.to_dict() for e in result.stale_baseline],
+        "suppressed": result.suppressed,
+        "files": result.files,
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,59 @@
+"""Small shared AST helpers for rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple, Union
+
+__all__ = [
+    "dotted_chain",
+    "call_chain",
+    "iter_functions",
+    "contains_attribute",
+    "attribute_chain_names",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def dotted_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Resolve a ``Name``/``Attribute`` chain to its dotted parts.
+
+    ``np.random.shuffle`` → ``("np", "random", "shuffle")``; returns
+    ``None`` when the chain is interrupted by calls, subscripts, etc.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def call_chain(call: ast.Call) -> Optional[Tuple[str, ...]]:
+    """``dotted_chain`` of a call's function expression."""
+    return dotted_chain(call.func)
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    """Every (possibly nested) function definition in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def contains_attribute(node: ast.AST, attrs) -> bool:
+    """Whether any ``Attribute`` in the subtree has one of these names."""
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr in attrs
+        for sub in ast.walk(node)
+    )
+
+
+def attribute_chain_names(node: ast.AST) -> Tuple[str, ...]:
+    """All attribute names appearing anywhere in the subtree."""
+    return tuple(
+        sub.attr for sub in ast.walk(node) if isinstance(sub, ast.Attribute)
+    )

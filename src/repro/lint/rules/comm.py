@@ -1,0 +1,125 @@
+"""Comm-accounting pack: no "free bytes" past the CommChannel ledger.
+
+The paper's Table 1 / Fig. 3 communication numbers are only honest if
+every simulated transfer is metered.  In a simulation nothing physically
+stops an algorithm from reading another party's state directly, so these
+rules police the two holes: harvesting client knowledge without an
+``upload``/``download`` in the same routine, and reaching straight into a
+client's private training data.
+
+Scope is deliberately ``repro.core`` and ``repro.baselines`` — the
+algorithm implementations whose comm totals are reported.  Experiment
+drivers and diagnostics may inspect clients freely.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import register
+from ._ast_utils import dotted_chain
+
+#: FLClient methods whose return value is uplink payload by definition.
+KNOWLEDGE_METHODS = {"logits_on", "public_knowledge", "compute_prototypes"}
+
+#: Per-client private training data an algorithm must never touch.
+PRIVATE_CLIENT_ATTRS = {"x_train", "y_train", "x_test", "y_test"}
+
+#: CommChannel recording calls that count as metering.
+_CHANNEL_CALLS = {"upload", "download", "broadcast"}
+
+
+@register(
+    "comm-private-client-state",
+    pack="comm",
+    severity="error",
+    summary="algorithm reads a client's private dataset directly",
+    description=(
+        "Accessing `client.x_train` / `y_train` / `x_test` / `y_test` from "
+        "algorithm code is the simulation equivalent of the server reading "
+        "a device's disk: no real deployment could do it, and no bytes are "
+        "metered. Exchange knowledge (logits, prototypes, weights) through "
+        "the CommChannel instead."
+    ),
+    packages=("repro.core", "repro.baselines"),
+)
+def check_private_client_state(ctx):
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        if node.attr not in PRIVATE_CLIENT_ATTRS:
+            continue
+        chain = dotted_chain(node)
+        if chain and chain[0] == "self" and len(chain) == 2:
+            # an algorithm's own attribute of that name, not a client's
+            continue
+        yield node, (
+            f"direct read of private client data `.{node.attr}`; "
+            "clients only share knowledge through the channel"
+        )
+
+
+def _is_knowledge_map_clients(call: ast.Call) -> bool:
+    if not (isinstance(call.func, ast.Attribute) and call.func.attr == "map_clients"):
+        return False
+    method = None
+    if len(call.args) >= 2:
+        method = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "method":
+            method = kw.value
+    return (
+        isinstance(method, ast.Constant)
+        and isinstance(method.value, str)
+        and method.value in KNOWLEDGE_METHODS
+    )
+
+
+def _is_foreign_state_dict(call: ast.Call) -> bool:
+    """``<not-self>.model.state_dict()`` — pulling another party's weights."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "state_dict"):
+        return False
+    base = func.value
+    if not (isinstance(base, ast.Attribute) and base.attr == "model"):
+        return False
+    chain = dotted_chain(base)
+    return chain is not None and chain[0] != "self"
+
+
+@register(
+    "comm-unmetered-exchange",
+    pack="comm",
+    severity="error",
+    summary="client knowledge harvested with no channel call in the routine",
+    description=(
+        "A routine that collects client payloads — `map_clients` with a "
+        "knowledge method (`logits_on`, `public_knowledge`, "
+        "`compute_prototypes`) or `<client>.model.state_dict()` — must "
+        "meter the transfer with `channel.upload` / `download` / "
+        "`broadcast` in the same routine; otherwise those bytes are free "
+        "and the Table-1 comparison is wrong. Validation-only reads that "
+        "move no payload get an inline pragma with a justification."
+    ),
+    packages=("repro.core", "repro.baselines"),
+)
+def check_unmetered_exchange(ctx):
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        acquisitions = []
+        metered = False
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and node.func.attr in _CHANNEL_CALLS:
+                metered = True
+            if _is_knowledge_map_clients(node) or _is_foreign_state_dict(node):
+                acquisitions.append(node)
+        if metered:
+            continue
+        for node in acquisitions:
+            yield node, (
+                f"`{func.name}` collects client payloads but never calls "
+                "channel.upload/download/broadcast"
+            )

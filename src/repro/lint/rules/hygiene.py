@@ -1,0 +1,235 @@
+"""Hygiene pack: unused imports, shadowed builtins, dead assignments.
+
+These are the auto-fixable findings — they never change behaviour, only
+remove noise that hides real problems (an unused import keeps a
+dependency edge alive; a dead assignment usually marks a refactor that
+forgot half of itself; a shadowed builtin turns a later `list(...)` call
+into a crash at a distance).
+
+The checks are deliberately conservative: re-export modules
+(``__init__.py``) are exempt from unused-import, imports gated behind
+``try``/``if`` blocks are treated as intentional, and string annotations
+count as uses.  A missed finding is cheap; a false positive erodes trust
+in the whole linter.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from ..registry import register
+
+_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: Builtins whose shadowing reliably causes action-at-a-distance bugs.
+SHADOWABLE_BUILTINS = frozenset(
+    {
+        "all", "any", "bool", "bytes", "callable", "compile", "dict", "dir",
+        "eval", "exec", "filter", "float", "format", "hash", "id", "input",
+        "int", "iter", "len", "list", "map", "max", "min", "next", "object",
+        "open", "print", "property", "range", "repr", "round", "set",
+        "sorted", "str", "sum", "tuple", "type", "vars", "zip",
+    }
+)
+
+
+def _scope_children(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope's statements without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _annotation_string_words(tree: ast.AST) -> Set[str]:
+    """Identifiers inside string annotations (``x: "Tensor"``)."""
+    words: Set[str] = set()
+
+    def collect(annotation) -> None:
+        if annotation is None:
+            return
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                words.update(_WORD_RE.findall(node.value))
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                collect(arg.annotation)
+            collect(node.returns)
+        elif isinstance(node, ast.AnnAssign):
+            collect(node.annotation)
+    return words
+
+
+def _dunder_all_names(tree: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                names.add(sub.value)
+    return names
+
+
+@register(
+    "hyg-unused-import",
+    pack="hygiene",
+    severity="warning",
+    summary="module-level import never referenced",
+    description=(
+        "A top-level import whose bound name is never used anywhere in the "
+        "module (including `__all__` and string annotations). Re-export "
+        "modules (`__init__.py`) and imports gated behind `try`/`if` "
+        "blocks are exempt. Fix by deleting the import."
+    ),
+)
+def check_unused_import(ctx):
+    if ctx.is_package_init():
+        return
+    bindings = []
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                bindings.append((name, node))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bindings.append((alias.asname or alias.name, node))
+    if not bindings:
+        return
+    used = {
+        node.id for node in ast.walk(ctx.tree) if isinstance(node, ast.Name)
+    }
+    used |= _dunder_all_names(ctx.tree)
+    used |= _annotation_string_words(ctx.tree)
+    for name, node in bindings:
+        if name not in used:
+            yield node, f"import '{name}' is unused"
+
+
+@register(
+    "hyg-shadowed-builtin",
+    pack="hygiene",
+    severity="warning",
+    summary="binding shadows a python builtin",
+    description=(
+        "A parameter, assignment, loop variable, or def/class name reusing "
+        "a builtin (`id`, `list`, `filter`, ...) makes later calls to the "
+        "builtin in the same scope fail or — worse — succeed with the "
+        "wrong object. Rename the binding. Class-body bindings (fields, "
+        "methods like `Module.eval` or `Gauge.set`) are exempt: class "
+        "scope does not leak into method bodies, and attribute-style APIs "
+        "legitimately reuse these names."
+    ),
+)
+def check_shadowed_builtin(ctx):
+    exempt = set()
+    for cls in ast.walk(ctx.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                exempt.add(id(stmt))
+            elif isinstance(stmt, ast.Assign):
+                exempt.update(
+                    id(t) for t in stmt.targets if isinstance(t, ast.Name)
+                )
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                exempt.add(id(stmt.target))
+
+    def flag(name: str, node):
+        if name in SHADOWABLE_BUILTINS and id(node) not in exempt:
+            yield node, f"'{name}' shadows the builtin"
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from flag(node.name, node)
+            args = node.args
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                yield from flag(arg.arg, arg)
+        elif isinstance(node, ast.Lambda):
+            for arg in node.args.args:
+                yield from flag(arg.arg, arg)
+        elif isinstance(node, ast.ClassDef):
+            yield from flag(node.name, node)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            yield from flag(node.name, node)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            yield from flag(node.id, node)
+
+
+@register(
+    "hyg-dead-assignment",
+    pack="hygiene",
+    severity="warning",
+    summary="local variable assigned but never read",
+    description=(
+        "A function-local `name = expr` whose name is never loaded "
+        "anywhere in the function (closures included) is a dead store — "
+        "usually the leftover half of a refactor. Delete the binding (keep "
+        "the expression if it has side effects) or prefix the name with "
+        "`_` when the discard is intentional."
+    ),
+)
+def check_dead_assignment(ctx):
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        declared_global: Set[str] = set()
+        for node in _scope_children(func):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                declared_global.update(node.names)
+        loads = {
+            node.id
+            for node in ast.walk(func)
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Store)
+        }
+        for node in _scope_children(func):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if (
+                name.startswith("_")
+                or name in declared_global
+                or name in loads
+            ):
+                continue
+            yield node, f"'{name}' is assigned but never read in {func.name}()"

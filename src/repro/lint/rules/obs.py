@@ -1,0 +1,95 @@
+"""Obs-hygiene pack: metric naming and span lifecycle discipline.
+
+The metrics registry rejects malformed names at runtime — but only on
+code paths a test actually exercises with observability enabled, which
+is exactly the configuration most tests skip.  Checking the literal
+names statically catches the typo before it hides behind a disabled
+registry.  Likewise a span created and immediately discarded can never
+be closed, so the trace's open/close balance breaks the first time that
+line runs with tracing on.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..registry import register
+
+#: Mirrors ``repro.obs.metrics._NAME_RE`` — scope/name with at least one
+#: slash, lowercase segments.
+_METRIC_NAME_RE = re.compile(r"^[a-z0-9_.-]+(/[a-z0-9_.-]+)+$")
+_METRIC_CHUNK_RE = re.compile(r"^[a-z0-9_./-]*$")
+
+_INSTRUMENT_METHODS = {"counter", "gauge", "histogram"}
+
+
+@register(
+    "obs-metric-name",
+    pack="obs",
+    severity="error",
+    summary="metric name violates the scope/name convention",
+    description=(
+        "Instrument names must match `scope/name` (lowercase segments of "
+        "`[a-z0-9_.-]`, at least one `/`), mirroring the registry's "
+        "runtime check. For f-string names, every literal chunk must use "
+        "the allowed charset and some literal chunk must contain the "
+        "`/` so the scope cannot be forged by interpolation."
+    ),
+    packages=("repro",),
+)
+def check_metric_name(ctx):
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _INSTRUMENT_METHODS):
+            continue
+        if not node.args:
+            continue
+        name = node.args[0]
+        if isinstance(name, ast.Constant) and isinstance(name.value, str):
+            if not _METRIC_NAME_RE.match(name.value):
+                yield name, (
+                    f"metric name '{name.value}' does not match the "
+                    "scope/name convention"
+                )
+        elif isinstance(name, ast.JoinedStr):
+            literal = ""
+            ok_chunks = True
+            for part in name.values:
+                if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                    literal += part.value
+                    if not _METRIC_CHUNK_RE.match(part.value):
+                        ok_chunks = False
+            if "/" not in literal or not ok_chunks:
+                yield name, (
+                    "f-string metric name needs a literal 'scope/' prefix "
+                    "with the scope/name charset"
+                )
+
+
+@register(
+    "obs-span-discarded",
+    pack="obs",
+    severity="error",
+    summary="tracer span created and immediately discarded",
+    description=(
+        "A bare `tracer.span(...)` expression statement opens a span whose "
+        "handle is dropped, so it can never be closed and the trace's "
+        "open/close balance breaks. Use `with tracer.span(...):`, or "
+        "return/assign the span when a caller manages its lifetime."
+    ),
+    packages=("repro",),
+)
+def check_span_discarded(ctx):
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Expr):
+            continue
+        call = node.value
+        if (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "span"
+        ):
+            yield call, "span handle discarded; open/close cannot balance"

@@ -17,17 +17,14 @@ because every CIFAR ResNet ends in a 64-d global-average-pooled feature).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from . import functional as F
 from .init import ensure_rng
 from .layers import (
-    BatchNorm1d,
     BatchNorm2d,
     Conv2d,
-    Flatten,
     GlobalAvgPool2d,
     Identity,
     Linear,

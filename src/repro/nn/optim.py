@@ -170,5 +170,8 @@ def clip_grad_norm(params: List[Tensor], max_norm: float) -> float:
         scale = max_norm / norm
         for p in params:
             if p.grad is not None:
+                # lint: disable=ag-inplace-tensor-mutation — in-place scaling
+                # is this function's documented contract; it runs after
+                # backward() finishes, when nothing re-reads the old grads.
                 p.grad *= scale
     return norm

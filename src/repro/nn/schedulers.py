@@ -8,7 +8,6 @@ constant Adam lr plateaus late in training.
 from __future__ import annotations
 
 import math
-from typing import List
 
 from .optim import Optimizer
 

@@ -12,7 +12,7 @@ verified by finite-difference tests in ``tests/nn/test_autograd.py``.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -160,6 +160,8 @@ class Tensor:
             return
         if self.grad is None:
             self.grad = np.zeros_like(self.data)
+        # lint: disable=ag-inplace-tensor-mutation — this IS the gradient
+        # accumulator; the buffer is allocated above and never aliased.
         self.grad += grad
 
     # ------------------------------------------------------------------

@@ -34,7 +34,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from ..nn.serialize import deserialize_state, serialize_state
 from ..obs import NULL_OBS
 from ..obs.metrics import DEFAULT_TIME_BUCKETS
-from .task import PUBLIC_X, ClientSpec, ClientTask, TaskFailure, TaskResult
+from .task import ClientSpec, ClientTask, TaskFailure, TaskResult
 from .worker import init_worker, resolve_kwargs, run_task
 
 __all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "make_executor"]

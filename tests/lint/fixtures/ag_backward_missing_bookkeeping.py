@@ -1,0 +1,28 @@
+# lint-fixture-module: repro.nn.fixture
+"""backward closures must be wired into the graph via _make/_backward."""
+
+
+class FixtureTensor:
+    def wired(self, other):
+        out_data = self.data + other.data
+
+        def backward(grad):
+            self.grad = grad
+
+        return self._make(out_data, (self, other), backward)
+
+    def dead_closure(self, other):
+        out_data = self.data + other.data
+
+        def backward(grad):  # BAD
+            self.grad = grad
+
+        return FixtureTensor(out_data)
+
+    def kwarg_wired(self, other):
+        out_data = self.data * other.data
+
+        def backward(grad):
+            other.grad = grad
+
+        return FixtureTensor(out_data, _backward=backward)

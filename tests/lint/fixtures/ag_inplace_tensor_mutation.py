@@ -1,0 +1,19 @@
+# lint-fixture-module: repro.nn.fixture
+"""In-place mutation of autograd-visible buffers vs. rebinding."""
+
+import numpy as np
+
+
+def bad_step(p, lr, grad):
+    p.data += lr * grad  # BAD
+    p.grad *= 0.5  # BAD
+    p.data[0] = 1.0  # BAD
+    np.add(p.data, grad, out=p.data)  # BAD
+
+
+def good_step(p, lr, grad):
+    p.data = p.data - lr * grad
+    scratch = np.zeros_like(grad)
+    scratch += 1.0
+    fresh = np.add(p.data, grad)
+    return scratch, fresh

@@ -1,0 +1,16 @@
+# lint-fixture-module: repro.nn.fixture
+"""Trainable Tensors in __init__ must be bound to self attributes."""
+
+
+class Registered:
+    def __init__(self, n):
+        self.weight = Tensor([0.0] * n, requires_grad=True)
+        self.bias = Tensor([0.0], requires_grad=True)
+        self.note = Tensor([0.0] * n)
+
+
+class Unregistered:
+    def __init__(self, n):
+        weight = Tensor([0.0] * n, requires_grad=True)  # BAD
+        self.params = [Tensor([0.0], requires_grad=True)]  # BAD
+        self.weight = weight

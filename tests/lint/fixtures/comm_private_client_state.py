@@ -1,0 +1,15 @@
+# lint-fixture-module: repro.baselines.fixture
+"""Direct reads of another party's private training data."""
+
+
+def peek(client):
+    features = client.x_train.mean()  # BAD
+    labels = client.y_train  # BAD
+    held_out = client.dataset.x_test  # BAD
+    n = client.num_samples
+    return features, labels, held_out, n
+
+
+class Algo:
+    def own_buffer(self):
+        return self.x_train

@@ -1,0 +1,22 @@
+# lint-fixture-module: repro.core.fixture
+"""Draws from numpy's global RNG stream vs. explicit Generators."""
+
+import numpy as np
+
+
+def corrupt_draws(n):
+    noise = np.random.rand(n)  # BAD
+    np.random.shuffle(noise)  # BAD
+    idx = numpy.random.randint(0, n)  # BAD
+    return noise, idx
+
+
+def clean_draws(n, seed):
+    rng = np.random.default_rng(seed)
+    seq = np.random.SeedSequence(seed)
+    noise = rng.standard_normal(n)
+    return noise, seq
+
+
+def typed(rng: np.random.Generator) -> np.random.Generator:
+    return rng

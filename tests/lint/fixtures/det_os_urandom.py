@@ -1,0 +1,10 @@
+# lint-fixture-module: repro.fl.fixture
+"""os.urandom pulls unseedable entropy; other os calls are fine."""
+
+import os
+
+
+def token():
+    raw = os.urandom(8)  # BAD
+    path = os.path.join("runs", "trace.jsonl")
+    return raw, path

@@ -1,0 +1,15 @@
+# lint-fixture-module: repro.core.fixture
+"""Iterating sets leaks hash order; sorted(...) restores determinism."""
+
+
+def merge_ids(uplink, downlink):
+    for cid in set(uplink) | set(downlink):  # BAD
+        yield cid
+
+
+def collect(ids):
+    raw = [i for i in {1, 2, 3}]  # BAD
+    ordered = [i for i in sorted(set(ids))]
+    for i in sorted(set(ids) - {0}):
+        ordered.append(i)
+    return raw, ordered

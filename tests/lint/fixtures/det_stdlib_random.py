@@ -1,0 +1,12 @@
+# lint-fixture-module: repro.fl.fixture
+"""Any binding of the stdlib random module is banned."""
+
+import random  # BAD
+from random import shuffle  # BAD
+
+import numpy as np
+
+
+def use(values):
+    shuffle(values)
+    return random.random() + float(np.mean(values))

@@ -1,0 +1,11 @@
+# lint-fixture-module: repro.data.fixture
+"""default_rng() with and without a seed."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    fresh = np.random.default_rng()  # BAD
+    seeded = np.random.default_rng(seed)
+    keyword = np.random.default_rng(seed=seed)
+    return fresh, seeded, keyword

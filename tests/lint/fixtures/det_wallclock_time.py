@@ -1,0 +1,11 @@
+# lint-fixture-module: repro.fl.fixture
+"""Wall-clock reads outside repro.obs; perf_counter durations are fine."""
+
+import time
+
+
+def stamp():
+    started_at = time.time()  # BAD
+    t0 = time.perf_counter()
+    elapsed = time.perf_counter() - t0
+    return started_at, elapsed

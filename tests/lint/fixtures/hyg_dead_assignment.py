@@ -1,0 +1,20 @@
+# lint-fixture-module: repro.fixture
+"""Locals assigned but never read; _-prefixed discards are intentional."""
+
+
+def summarize(values):
+    total = sum(values)
+    leftover = max(values)  # BAD
+    _scratch = min(values)
+    return total
+
+
+def closure_use(values):
+    acc = []
+
+    def add(v):
+        acc.append(v)
+
+    for v in values:
+        add(v)
+    return acc

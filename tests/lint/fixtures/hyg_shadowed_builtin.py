@@ -1,0 +1,21 @@
+# lint-fixture-module: repro.fixture
+"""Bindings that shadow builtins; class-body API names are exempt."""
+
+
+def compute(values, list):  # BAD
+    id = 3  # BAD
+    total = 0
+    for type in values:  # BAD
+        total += type
+    return total + id + len(list)
+
+
+class Report:
+    min: float = 0.0
+    max = 1.0
+
+    def set(self, value):
+        self.min = value
+
+    def eval(self):
+        return self.min + self.max

@@ -1,0 +1,19 @@
+# lint-fixture-module: repro.fixture
+"""Unused top-level imports; __all__ and string annotations count as uses."""
+
+import json  # BAD
+import os
+from shutil import which
+from typing import List  # BAD
+from typing import Optional
+
+try:
+    import tomllib
+except ImportError:
+    tomllib = None
+
+__all__ = ["which", "cwd"]
+
+
+def cwd(flag: "Optional[str]"):
+    return os.getcwd(), flag

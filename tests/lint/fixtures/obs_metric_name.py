@@ -1,0 +1,11 @@
+# lint-fixture-module: repro.fl.fixture
+"""Metric names must follow the lowercase scope/name convention."""
+
+
+def publish(metrics, direction, loss):
+    metrics.counter("UplinkBytes").inc()  # BAD
+    metrics.gauge("server loss").set(loss)  # BAD
+    metrics.counter(f"{direction}_bytes").inc()  # BAD
+    metrics.counter("channel/uplink_bytes").inc()
+    metrics.gauge("server/distill_loss").set(loss)
+    metrics.histogram(f"channel/{direction}_bytes").observe(1)

@@ -1,0 +1,10 @@
+# lint-fixture-module: repro.fl.fixture
+"""A bare tracer.span(...) statement drops the handle unclosed."""
+
+
+def trace_round(tracer):
+    tracer.span("round")  # BAD
+    with tracer.span("round"):
+        pass
+    handle = tracer.span("manual")
+    return handle

@@ -1,0 +1,82 @@
+"""Baseline round-trip, stale detection, and version handling."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, BaselineEntry, Finding
+
+
+def _finding(rule="det-os-urandom", path="src/repro/fl/a.py", message="m"):
+    return Finding(rule=rule, path=path, line=3, col=0, message=message)
+
+
+def test_apply_splits_new_and_baselined():
+    baseline = Baseline(
+        [BaselineEntry(rule="det-os-urandom", path="src/repro/fl/a.py", message="m")]
+    )
+    known = _finding()
+    fresh = _finding(path="src/repro/fl/b.py")
+    new, baselined, stale = baseline.apply([known, fresh])
+    assert new == [fresh]
+    assert baselined == [known]
+    assert stale == []
+
+
+def test_match_ignores_line_numbers():
+    """Baselined findings survive reformatting (line moves), not edits."""
+    baseline = Baseline(
+        [BaselineEntry(rule="det-os-urandom", path="src/repro/fl/a.py", message="m")]
+    )
+    moved = Finding(
+        rule="det-os-urandom", path="src/repro/fl/a.py", line=99, col=4, message="m"
+    )
+    assert baseline.matches(moved)
+    assert not baseline.matches(_finding(message="different message"))
+
+
+def test_stale_entries_reported():
+    entry = BaselineEntry(rule="det-os-urandom", path="src/gone.py", message="m")
+    new, baselined, stale = Baseline([entry]).apply([_finding()])
+    assert stale == [entry]
+    assert len(new) == 1 and baselined == []
+
+
+def test_save_load_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    original = Baseline.from_findings(
+        [_finding(), _finding(path="src/repro/fl/b.py"), _finding()],
+        justification="fixture",
+    )
+    assert len(original) == 2  # duplicates collapse on (rule, path, message)
+    original.save(str(path))
+    loaded = Baseline.load(str(path))
+    assert [e.key() for e in loaded.entries] == [e.key() for e in original.entries]
+    assert all(e.justification == "fixture" for e in loaded.entries)
+    new, baselined, stale = loaded.apply([_finding()])
+    assert new == [] and len(baselined) == 1 and len(stale) == 1
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    baseline = Baseline.load(str(tmp_path / "absent.json"))
+    assert len(baseline) == 0
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError, match="unsupported baseline version"):
+        Baseline.load(str(path))
+
+
+def test_save_is_sorted_and_stable(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline(
+        [
+            BaselineEntry(rule="z-rule", path="b.py", message="m"),
+            BaselineEntry(rule="a-rule", path="a.py", message="m"),
+        ]
+    ).save(str(path))
+    data = json.loads(path.read_text())
+    assert data["version"] == 1
+    assert [e["rule"] for e in data["entries"]] == ["a-rule", "z-rule"]

@@ -1,0 +1,92 @@
+"""Every rule fires exactly on its fixture's ``# BAD`` lines.
+
+The fixture layout (``tests/lint/fixtures/<rule_id>.py`` with a
+``# lint-fixture-module:`` header) is described in ``fixtures/README.md``.
+Each fixture is linted with *only* the rule under test, so the marked
+lines are the rule's complete positive set and every unmarked line is a
+negative case.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintEngine, all_rules, get_rule
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_MODULE_RE = re.compile(r"#\s*lint-fixture-module:\s*(\S+)")
+
+RULE_IDS = [rule.id for rule in all_rules()]
+
+
+def fixture_path(rule_id):
+    return FIXTURES / (rule_id.replace("-", "_") + ".py")
+
+
+def load_fixture(rule_id):
+    path = fixture_path(rule_id)
+    source = path.read_text()
+    match = _MODULE_RE.search(source)
+    assert match, f"{path.name} is missing its '# lint-fixture-module:' header"
+    expected = {
+        lineno
+        for lineno, line in enumerate(source.splitlines(), start=1)
+        if "# BAD" in line
+    }
+    return source, match.group(1), expected
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_rule_matches_fixture_markers(rule_id):
+    source, module, expected = load_fixture(rule_id)
+    assert expected, f"fixture for {rule_id} marks no violations"
+    engine = LintEngine(rules=[get_rule(rule_id)])
+    result = engine.lint_source(source, path=f"fixtures/{rule_id}.py", module=module)
+    found = {f.line for f in result.findings}
+    assert found == expected, (
+        f"{rule_id}: findings on lines {sorted(found)}, "
+        f"fixture marks lines {sorted(expected)}"
+    )
+    assert all(f.rule == rule_id for f in result.findings)
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_fixture_has_negative_cases(rule_id):
+    """A fixture must also show the compliant way (unmarked code lines)."""
+    source, _, expected = load_fixture(rule_id)
+    code_lines = {
+        lineno
+        for lineno, line in enumerate(source.splitlines(), start=1)
+        if line.strip() and not line.strip().startswith("#")
+    }
+    assert code_lines - expected, f"fixture for {rule_id} has no compliant code"
+
+
+def test_package_scoping_silences_out_of_scope_modules():
+    """comm rules only apply inside repro.core / repro.baselines."""
+    source, _, expected = load_fixture("comm-private-client-state")
+    rule = get_rule("comm-private-client-state")
+    engine = LintEngine(rules=[rule])
+    in_scope = engine.lint_source(source, module="repro.core.aggregation")
+    out_of_scope = engine.lint_source(source, module="repro.experiments.harness")
+    assert {f.line for f in in_scope.findings} == expected
+    assert out_of_scope.findings == []
+
+
+def test_wallclock_rule_excludes_obs_package():
+    source, _, expected = load_fixture("det-wallclock-time")
+    rule = get_rule("det-wallclock-time")
+    engine = LintEngine(rules=[rule])
+    elsewhere = engine.lint_source(source, module="repro.fl.simulation")
+    in_obs = engine.lint_source(source, module="repro.obs.tracer")
+    assert {f.line for f in elsewhere.findings} == expected
+    assert in_obs.findings == []
+
+
+def test_fixture_files_cover_exactly_the_registry():
+    """No orphan fixtures, no rule without one."""
+    on_disk = {p.stem for p in FIXTURES.glob("*.py")}
+    registered = {rule.id.replace("-", "_") for rule in all_rules()}
+    assert on_disk == registered

@@ -1,0 +1,33 @@
+"""The linter's acceptance gate on its own repository.
+
+``src/`` must lint clean against the checked-in baseline (this is what
+the CI lint job enforces), and a full pass over the tree must stay fast
+enough to run on every push.
+"""
+
+import time
+from pathlib import Path
+
+from repro.lint import Baseline, LintEngine
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_lints_clean_with_checked_in_baseline():
+    engine = LintEngine(root=str(REPO_ROOT))
+    baseline = Baseline.load(str(REPO_ROOT / ".reprolint-baseline.json"))
+    result = engine.lint_paths([str(REPO_ROOT / "src")], baseline=baseline)
+    assert result.files > 80
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.ok, f"new lint findings in src/:\n{rendered}"
+    assert not result.stale_baseline, (
+        f"stale baseline entries: {[e.key() for e in result.stale_baseline]}"
+    )
+
+
+def test_full_pass_is_fast_enough_for_ci():
+    engine = LintEngine(root=str(REPO_ROOT))
+    start = time.perf_counter()
+    engine.lint_paths([str(REPO_ROOT / "src")])
+    elapsed = time.perf_counter() - start
+    assert elapsed < 5.0, f"lint pass took {elapsed:.2f}s (budget 5s)"
