@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Throughput trajectory benchmark: substrate ops/sec plus one FL round.
+
+Measures three levels of the stack with ``time.perf_counter``:
+
+- ``conv2d``        — one forward conv over a NCHW batch (the autograd
+  engine's hottest kernel);
+- ``matmul``        — a square Tensor matmul (the dense-layer primitive);
+- ``fedpkd_round``  — one full FedPKD round at the ``tiny`` scale
+  (local training, logit exchange, filtering, aggregation, distillation).
+
+Writes the numbers as ``BENCH_6.json`` so successive PRs can compare the
+end-to-end trajectory, not just micro-kernels:
+
+    PYTHONPATH=src python scripts/bench_trajectory.py --out BENCH_6.json
+
+The per-suite pytest-benchmark file (benchmarks/test_substrate_perf.py)
+stays the fine-grained regression gate; this script is the coarse
+snapshot committed alongside the PR.
+"""
+
+import argparse
+import json
+import platform
+import time
+
+import numpy as np
+
+import repro
+from repro.algorithms import build_algorithm
+from repro.experiments.harness import ExperimentSetting, federation_for
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def bench(fn, min_seconds=0.5, min_reps=3):
+    """Repeat ``fn`` until both floors are met; return timing stats."""
+    fn()  # warm-up (first conv pays the einsum-path planning cost)
+    reps = 0
+    start = time.perf_counter()
+    elapsed = 0.0
+    while reps < min_reps or elapsed < min_seconds:
+        fn()
+        reps += 1
+        elapsed = time.perf_counter() - start
+    return {
+        "reps": reps,
+        "seconds": round(elapsed, 4),
+        "ops_per_sec": round(reps / elapsed, 4),
+    }
+
+
+def bench_conv2d():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(16, 3, 16, 16)))
+    weight = Tensor(rng.normal(size=(16, 3, 3, 3)))
+    return bench(lambda: F.conv2d(x, weight, stride=1, padding=1))
+
+
+def bench_matmul():
+    rng = np.random.default_rng(1)
+    a = Tensor(rng.normal(size=(256, 256)))
+    b = Tensor(rng.normal(size=(256, 256)))
+    return bench(lambda: a @ b)
+
+
+def bench_fedpkd_round():
+    setting = ExperimentSetting(scale="tiny", seed=0)
+    federation = federation_for(setting, "fedpkd")
+    try:
+        algo = build_algorithm(
+            "fedpkd",
+            federation,
+            seed=setting.seed,
+            epoch_scale=setting.scale_config().epoch_scale,
+        )
+        # each rep advances training one round; throughput is what matters
+        return bench(lambda: algo.run(1), min_seconds=1.0, min_reps=3)
+    finally:
+        federation.close()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_6.json", metavar="PATH")
+    args = parser.parse_args(argv)
+
+    results = {
+        "bench": "trajectory",
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "ops": {
+            "conv2d": bench_conv2d(),
+            "matmul": bench_matmul(),
+            "fedpkd_round": bench_fedpkd_round(),
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2)
+        f.write("\n")
+    for name, stats in results["ops"].items():
+        print(f"{name:13} {stats['ops_per_sec']:10.3f} ops/s ({stats['reps']} reps)")
+    print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

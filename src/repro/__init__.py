@@ -31,6 +31,10 @@ Subpackages
     FedAvg, FedProx, FedMD, DS-FL, FedDF, FedET, and the naive-KD pilot.
 ``repro.experiments``
     Runners that regenerate every figure and table of the paper.
+``repro.sweep``
+    Multi-run orchestration: declarative grid sweeps, a content-hash
+    result cache, and a persistent run registry (``python -m repro
+    sweep grid.json``).
 """
 
 from . import analysis, baselines, core, data, fl, nn, runtime

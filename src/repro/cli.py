@@ -1,23 +1,28 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro run --algorithm fedpkd --dataset cifar10 \
         --partition dir0.1 --scale tiny --rounds 5 --out history.json \
         --trace trace.jsonl --metrics-out metrics.jsonl
 
-    python -m repro experiment fig5 --scale small
+    python -m repro sweep grid.json --out-root results
+
+    python -m repro experiment fig5 --scale small --out-dir results/fig5
 
     python -m repro results history1.json history2.json --target 0.5
+    python -m repro results --registry results/registry --where algorithm=fedpkd
 
     python -m repro lint src --baseline .reprolint-baseline.json
 
 ``run`` executes one algorithm and writes its RunHistory as JSON (with
-optional observability outputs; see docs/OBSERVABILITY.md); ``experiment``
+optional observability outputs; see docs/OBSERVABILITY.md); ``sweep``
+expands a grid spec into a deduplicated run queue and executes it through
+the result cache and run registry (docs/SWEEP.md); ``experiment``
 regenerates one paper figure/table and prints its rows; ``results``
-tabulates saved history JSON files; ``lint`` runs the repo's static
-analysis rules (or, with ``--traces``, validates observability output;
-see docs/LINT.md).
+tabulates saved history JSON files or queries a sweep registry; ``lint``
+runs the repo's static analysis rules (or, with ``--traces``, validates
+observability output; see docs/LINT.md).
 """
 
 from __future__ import annotations
@@ -130,15 +135,42 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
     exp_p.add_argument("--scale", choices=sorted(SCALES), default="tiny")
     exp_p.add_argument("--seed", type=int, default=0)
+    exp_p.add_argument(
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help="also write the experiment's raw result dict as <DIR>/<name>.json",
+    )
 
     from .lint.cli import add_lint_parser
 
     add_lint_parser(sub)
 
+    from .sweep.cli import add_sweep_parser
+
+    add_sweep_parser(sub)
+
     res_p = sub.add_parser(
-        "results", help="tabulate saved RunHistory JSON files"
+        "results", help="tabulate saved RunHistory JSON files or registry runs"
     )
-    res_p.add_argument("files", nargs="+", help="history JSON files from `repro run --out`")
+    res_p.add_argument(
+        "files", nargs="*", help="history JSON files from `repro run --out`"
+    )
+    res_p.add_argument(
+        "--registry",
+        default=None,
+        metavar="DIR",
+        help="also tabulate runs from a sweep registry directory "
+        "(e.g. results/registry; see docs/SWEEP.md)",
+    )
+    res_p.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="filter registry runs (repeatable), e.g. --where algorithm=fedpkd "
+        "--where partition=dir0.5 --where status=completed",
+    )
     res_p.add_argument(
         "--target",
         type=float,
@@ -208,13 +240,70 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     module = EXPERIMENTS[args.name]
-    module.main(scale=args.scale, seed=args.seed)
+    module.main(scale=args.scale, seed=args.seed, out_dir=args.out_dir)
+    if args.out_dir:
+        print(f"results written to {args.out_dir}/{args.name}.json")
+    return 0
+
+
+def _cmd_registry_results(args: argparse.Namespace) -> int:
+    from .experiments.harness import format_table
+    from .sweep import RegistryError, RunRegistry, parse_where
+
+    registry = RunRegistry(args.registry)
+    try:
+        records = registry.query(parse_where(args.where))
+    except RegistryError as exc:
+        print(f"registry error: {exc}", file=sys.stderr)
+        return 2
+    records.sort(key=lambda r: (r.get("label", ""), r["run_key"]))
+    headers = [
+        "run_key",
+        "sweep",
+        "status",
+        "label",
+        "rounds",
+        "final_S_acc",
+        "best_S_acc",
+        "final_C_acc",
+        "comm_MB",
+    ]
+    rows = [
+        [
+            record["run_key"][:12],
+            record.get("sweep", "?"),
+            record["status"],
+            record.get("label", "?"),
+            record.get("rounds"),
+            record.get("final_server_acc"),
+            record.get("best_server_acc"),
+            record.get("final_client_acc"),
+            record.get("comm_mb"),
+        ]
+        for record in records
+    ]
+    print(format_table(headers, rows, title=f"registry: {args.registry}"))
     return 0
 
 
 def _cmd_results(args: argparse.Namespace) -> int:
     from .experiments.harness import format_table
     from .fl.metrics import RunHistory
+
+    if args.registry is not None:
+        if args.files or args.csv:
+            print(
+                "--registry does not combine with history files or --csv",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_registry_results(args)
+    if args.where:
+        print("--where requires --registry", file=sys.stderr)
+        return 2
+    if not args.files:
+        print("results: no history files given", file=sys.stderr)
+        return 2
 
     histories = []
     for path in args.files:
@@ -281,6 +370,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .lint.cli import cmd_lint
 
         return cmd_lint(args)
+    if args.command == "sweep":
+        from .sweep.cli import cmd_sweep
+
+        return cmd_sweep(args)
     return _cmd_experiment(args)
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from .harness import ExperimentSetting, compare_algorithms, format_table
+from .harness import ExperimentSetting, compare_algorithms, format_table, save_results
 
 __all__ = ["run", "main"]
 
@@ -56,9 +56,11 @@ def as_table(results: Dict) -> str:
     )
 
 
-def main(scale: str = "small", seed: int = 0) -> Dict:
+def main(scale: str = "small", seed: int = 0, out_dir: str = None) -> Dict:
     results = run(scale=scale, seed=seed)
     print(as_table(results))
+    if out_dir:
+        save_results(results, out_dir, "fig1")
     return results
 
 

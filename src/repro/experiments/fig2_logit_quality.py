@@ -19,7 +19,7 @@ import numpy as np
 from ..core.aggregation import equal_average_aggregate, variance_weighted_aggregate
 from ..fl.config import FederationConfig, TrainingConfig
 from ..fl.simulation import build_federation
-from .harness import ExperimentSetting, make_bundle, model_roles
+from .harness import ExperimentSetting, make_bundle, model_roles, save_results
 
 __all__ = ["run", "main"]
 
@@ -79,7 +79,7 @@ def run(scale: str = "tiny", seed: int = 0, local_epochs: int = 10) -> Dict:
     }
 
 
-def main(scale: str = "small", seed: int = 0) -> Dict:
+def main(scale: str = "small", seed: int = 0, out_dir: str = None) -> Dict:
     results = run(scale=scale, seed=seed)
     np.set_printoptions(precision=2, suppress=True)
     print("Fig. 2 — per-class logit accuracy under class-disjoint non-IID")
@@ -88,6 +88,12 @@ def main(scale: str = "small", seed: int = 0) -> Dict:
     print("client 2 acc per class:", results["client_acc"][1])
     print("equal-average acc     :", results["aggregated_acc"])
     print("variance-weighted acc :", results["variance_weighted_acc"])
+    if out_dir:
+        save_results(
+            {k: np.asarray(v).tolist() for k, v in results.items()},
+            out_dir,
+            "fig2",
+        )
     return results
 
 

@@ -18,7 +18,7 @@ from typing import Dict, List
 
 from ..nn.models import build_model
 from ..nn.serialize import WIRE_DTYPE
-from .harness import ExperimentSetting, format_table, model_roles, run_algorithm
+from .harness import ExperimentSetting, format_table, model_roles, run_algorithm, save_results
 
 __all__ = ["run", "main", "DEFAULT_SIZES"]
 
@@ -77,9 +77,11 @@ def as_table(results: Dict) -> str:
     )
 
 
-def main(scale: str = "small", seed: int = 0) -> Dict:
+def main(scale: str = "small", seed: int = 0, out_dir: str = None) -> Dict:
     results = run(scale=scale, seed=seed)
     print(as_table(results))
+    if out_dir:
+        save_results(results, out_dir, "fig3")
     return results
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from .fig5_homogeneous import ALL_ALGORITHMS
-from .harness import ExperimentSetting, compare_algorithms, format_table
+from .harness import ExperimentSetting, compare_algorithms, format_table, save_results
 
 __all__ = ["run", "main"]
 
@@ -53,9 +53,11 @@ def as_table(results: Dict) -> str:
     )
 
 
-def main(scale: str = "small", seed: int = 0) -> Dict:
+def main(scale: str = "small", seed: int = 0, out_dir: str = None) -> Dict:
     results = run(scale=scale, seed=seed)
     print(as_table(results))
+    if out_dir:
+        save_results(results, out_dir, "fig6")
     return results
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from ..algorithms import algorithm_supports
-from .harness import ExperimentSetting, compare_algorithms, format_table
+from .harness import ExperimentSetting, compare_algorithms, format_table, save_results
 
 __all__ = ["run", "main", "HETERO_ALGORITHMS"]
 
@@ -72,9 +72,11 @@ def as_table(results: Dict) -> str:
     )
 
 
-def main(scale: str = "small", seed: int = 0) -> Dict:
+def main(scale: str = "small", seed: int = 0, out_dir: str = None) -> Dict:
     results = run(scale=scale, seed=seed, datasets=("cifar10", "cifar100"))
     print(as_table(results))
+    if out_dir:
+        save_results(results, out_dir, "fig7")
     return results
 
 

@@ -24,6 +24,7 @@ from .harness import (
     format_table,
     make_bundle,
     run_algorithm,
+    save_results,
 )
 
 __all__ = ["run", "main", "ARMS", "EXTENDED_ARMS"]
@@ -80,9 +81,11 @@ def as_table(results: Dict) -> str:
     )
 
 
-def main(scale: str = "small", seed: int = 0) -> Dict:
+def main(scale: str = "small", seed: int = 0, out_dir: str = None) -> Dict:
     results = run(scale=scale, seed=seed, datasets=("cifar10", "cifar100"))
     print(as_table(results))
+    if out_dir:
+        save_results(results, out_dir, "fig8")
     return results
 
 

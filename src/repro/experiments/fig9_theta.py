@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
-from .harness import ExperimentSetting, format_table, make_bundle, run_algorithm
+from .harness import ExperimentSetting, format_table, make_bundle, run_algorithm, save_results
 
 __all__ = ["run", "main", "DEFAULT_THETAS"]
 
@@ -52,9 +52,11 @@ def as_table(results: Dict) -> str:
     )
 
 
-def main(scale: str = "small", seed: int = 0) -> Dict:
+def main(scale: str = "small", seed: int = 0, out_dir: str = None) -> Dict:
     results = run(scale=scale, seed=seed, datasets=("cifar10", "cifar100"))
     print(as_table(results))
+    if out_dir:
+        save_results(results, out_dir, "fig9")
     return results
 
 

@@ -31,6 +31,7 @@ __all__ = [
     "run_algorithm",
     "compare_algorithms",
     "format_table",
+    "save_results",
     "PARTITIONS",
 ]
 
@@ -103,12 +104,26 @@ class ExperimentSetting:
     # observability (see repro.obs / docs/OBSERVABILITY.md)
     trace_path: Optional[str] = None
     metrics_path: Optional[str] = None
+    # artifact root: relative checkpoint/trace/metrics paths resolve under
+    # this directory, so a sweep (or any caller) can redirect a run's
+    # artifacts without chdir tricks.  None keeps paths as given.
+    out_dir: Optional[str] = None
 
     def scale_config(self) -> ScaleConfig:
         base = SCALES[self.scale].sized_for(self.dataset)
         if self.scale_overrides:
             base = replace(base, **self.scale_overrides)
         return base
+
+    def resolve_artifact(self, path: Optional[str]) -> Optional[str]:
+        """Resolve an artifact path against ``out_dir``.
+
+        Absolute paths (and every path when ``out_dir`` is unset) pass
+        through unchanged; relative ones land under ``out_dir``.
+        """
+        if path is None or self.out_dir is None or os.path.isabs(path):
+            return path
+        return os.path.join(self.out_dir, path)
 
 
 def make_bundle(setting: ExperimentSetting) -> FederatedDataBundle:
@@ -190,9 +205,9 @@ def federation_for(
         max_workers=setting.max_workers,
         task_timeout_s=setting.task_timeout_s,
         checkpoint_every=setting.checkpoint_every,
-        checkpoint_path=setting.checkpoint_path,
-        trace_path=setting.trace_path,
-        metrics_path=setting.metrics_path,
+        checkpoint_path=setting.resolve_artifact(setting.checkpoint_path),
+        trace_path=setting.resolve_artifact(setting.trace_path),
+        metrics_path=setting.resolve_artifact(setting.metrics_path),
     )
     return build_federation(bundle, config)
 
@@ -229,15 +244,16 @@ def run_algorithm(
         if resume:
             if not setting.checkpoint_path:
                 raise ValueError("resume=True requires setting.checkpoint_path")
-            if os.path.exists(setting.checkpoint_path):
+            ckpt_path = setting.resolve_artifact(setting.checkpoint_path)
+            if os.path.exists(ckpt_path):
                 # the trace file survives the restart: append to it behind a
                 # `resume` marker.  This must precede load_checkpoint, whose
                 # checkpoint/load event is otherwise the tracer's first write
                 # and would truncate the existing trace.
-                meta = read_checkpoint_meta(setting.checkpoint_path)
+                meta = read_checkpoint_meta(ckpt_path)
                 federation.obs.mark_resume(meta["round_index"])
-                rounds_done = load_checkpoint(algo, setting.checkpoint_path)
-                history = load_history(setting.checkpoint_path)
+                rounds_done = load_checkpoint(algo, ckpt_path)
+                history = load_history(ckpt_path)
         remaining = max(0, total_rounds - rounds_done)
         if remaining > 0:
             history = algo.run(remaining, eval_every=eval_every, history=history)
@@ -306,3 +322,29 @@ def _cell(value: object) -> str:
             return "N/A"
         return f"{value:.3f}"
     return str(value)
+
+
+def save_results(results: object, out_dir: str, name: str) -> str:
+    """Write an experiment's raw result dict as ``<out_dir>/<name>.json``.
+
+    The shared artifact sink of every fig/table module's ``main(out_dir=)``
+    — the directory is injected, so callers (the sweep scheduler, CI, the
+    CLI ``--out-dir`` flag) redirect artifacts without chdir tricks.
+    Non-JSON scalars (numpy floats/arrays) are coerced via ``default``.
+    """
+    import json
+
+    def _default(value):
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, (np.floating, np.integer)):
+            return value.item()
+        return float(value)
+
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=1, default=_default)
+    os.replace(tmp, path)
+    return path

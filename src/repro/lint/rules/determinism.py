@@ -170,7 +170,7 @@ def _is_set_expr(node: ast.AST) -> bool:
         "(aggregates, payload layouts, serialized key order) can differ "
         "between processes. Wrap the set in `sorted(...)` before iterating."
     ),
-    packages=("repro.core", "repro.baselines", "repro.fl", "repro.nn"),
+    packages=("repro.core", "repro.baselines", "repro.fl", "repro.nn", "repro.sweep"),
 )
 def check_set_iteration(ctx):
     def flag(iter_node):

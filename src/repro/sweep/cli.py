@@ -1,0 +1,148 @@
+"""The ``repro sweep`` subcommand: grid submission from the command line.
+
+::
+
+    python -m repro sweep grid.json --out-root results
+    python -m repro sweep grid.json --dry-run
+    python -m repro sweep grid.json --run-workers 4 --run-timeout-s 900 --trace
+
+Exit codes: ``0`` every run completed/cached, ``1`` some runs failed,
+``2`` the spec is malformed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .progress import SweepProgress
+from .scheduler import SweepScheduler
+from .spec import SweepSpec, SweepSpecError
+
+__all__ = ["add_sweep_parser", "cmd_sweep"]
+
+
+def add_sweep_parser(sub) -> argparse.ArgumentParser:
+    parser = sub.add_parser(
+        "sweep",
+        help="expand a grid spec into runs, dedup against the cache, execute",
+    )
+    parser.add_argument("spec", help="JSON sweep spec (see docs/SWEEP.md)")
+    parser.add_argument(
+        "--out-root",
+        default="results",
+        metavar="DIR",
+        help="root for cache/ and registry/ (default: results)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded run queue (key, label, cache state) and exit",
+    )
+    parser.add_argument(
+        "--run-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent runs (1 = inline in queue order, the default)",
+    )
+    parser.add_argument(
+        "--run-timeout-s",
+        type=float,
+        default=None,
+        help="per-run wall-clock budget (with --run-workers > 1)",
+    )
+    parser.add_argument(
+        "--run-retries",
+        type=int,
+        default=1,
+        help="extra attempts after a per-run timeout or worker death",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="exact-resume autosave cadence inside each run (default 1)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="write a per-run obs trace + metrics export into the cache",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "parallel"),
+        default=None,
+        help="client-execution runtime for every run (overrides the spec)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="worker processes per run for --executor parallel",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+    return parser
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = SweepSpec.from_file(args.spec)
+    except SweepSpecError as exc:
+        print(f"sweep spec error: {exc}", file=sys.stderr)
+        return 2
+
+    runtime_overrides = {}
+    if args.executor:
+        runtime_overrides["executor"] = args.executor
+    if args.max_workers is not None:
+        runtime_overrides["max_workers"] = args.max_workers
+
+    progress = SweepProgress(0, enabled=not args.quiet)
+    scheduler = SweepScheduler(
+        spec,
+        out_root=args.out_root,
+        run_workers=args.run_workers,
+        run_timeout_s=args.run_timeout_s,
+        run_retries=args.run_retries,
+        checkpoint_every=args.checkpoint_every,
+        trace=args.trace,
+        runtime_overrides=runtime_overrides,
+        progress=progress,
+    )
+
+    try:
+        queue = scheduler.queue()
+    except SweepSpecError as exc:
+        print(f"sweep spec error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        print(f"sweep '{spec.name}': {len(queue)} runs")
+        for run in queue:
+            key = run.run_key()
+            if scheduler.cache.has_history(key):
+                state = "cached"
+            elif scheduler.cache.has_checkpoint(key):
+                state = "resumable"
+            else:
+                state = "queued"
+            print(f"  {key[:12]}  {state:9}  {run.label()}")
+        return 0
+
+    result = scheduler.run()
+
+    counts = result.counts()
+    print(
+        f"sweep '{result.name}': {counts['completed']} completed, "
+        f"{counts['resumed']} resumed, {counts['cached']} cached, "
+        f"{counts['failed']} failed "
+        f"(registry: {scheduler.registry.runs_path})"
+    )
+    for outcome in result.outcomes:
+        if outcome.status == "failed":
+            print(f"  FAILED {outcome.run_key[:12]} {outcome.label}: {outcome.error}")
+    return 0 if result.ok else 1

@@ -1,0 +1,110 @@
+"""Live sweep progress: run states plus round counts from obs traces.
+
+The scheduler reports state transitions (queued → running → completed /
+failed / cached / resumed) and the tracker renders one line per event::
+
+    [2/8] run 3f9ab2c1 fedpkd/cifar10/dir0.5/s0 completed (3 rounds, S_acc=0.612)
+
+While runs execute on pool workers, the scheduler polls
+:func:`rounds_completed` over each running run's trace file (when per-run
+tracing is enabled) and reports per-run round counts mid-flight — the
+trace is append-only JSONL, so tailing it from another process is safe at
+any moment, including mid-write (a torn final line is simply skipped).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, Optional
+
+__all__ = ["SweepProgress", "rounds_completed"]
+
+#: Ordered display states.
+STATES = ("queued", "running", "completed", "resumed", "failed", "cached")
+
+_FINAL = ("completed", "resumed", "failed", "cached")
+
+
+def rounds_completed(trace_path: str) -> Optional[int]:
+    """Count completed round spans in a (possibly still growing) trace.
+
+    Returns ``None`` when the file is missing; a torn or non-JSON line —
+    normal while the writing process is mid-record — ends the scan.
+    """
+    try:
+        f = open(trace_path, "r", encoding="utf-8")
+    except OSError:
+        return None
+    rounds = 0
+    with f:
+        for raw in f:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                break
+            if record.get("type") == "span" and record.get("name") == "round":
+                rounds += 1
+    return rounds
+
+
+class SweepProgress:
+    """Counts run states and streams one line per transition."""
+
+    def __init__(self, total: int, stream=None, enabled: bool = True) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.states: Dict[str, str] = {}
+        self._last_rounds: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # state transitions
+    # ------------------------------------------------------------------
+    def transition(self, key: str, label: str, state: str, detail: str = "") -> None:
+        if state not in STATES:
+            raise ValueError(f"unknown progress state '{state}'")
+        self.states[key] = state
+        suffix = f" ({detail})" if detail else ""
+        self._emit(f"[{self.finished}/{self.total}] run {key[:8]} {label} {state}{suffix}")
+
+    def running_rounds(self, key: str, label: str, rounds: int, total_rounds) -> None:
+        """Report a mid-flight round count (deduplicated per run)."""
+        if self._last_rounds.get(key) == rounds:
+            return
+        self._last_rounds[key] = rounds
+        of = f"/{total_rounds}" if total_rounds else ""
+        self._emit(
+            f"[{self.finished}/{self.total}] run {key[:8]} {label} "
+            f"round {rounds}{of}"
+        )
+
+    def note(self, message: str) -> None:
+        self._emit(message)
+
+    # ------------------------------------------------------------------
+    # tallies
+    # ------------------------------------------------------------------
+    def count(self, state: str) -> int:
+        return sum(1 for s in self.states.values() if s == state)
+
+    @property
+    def finished(self) -> int:
+        return sum(1 for s in self.states.values() if s in _FINAL)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.count(state)} {state}"
+            for state in ("completed", "resumed", "cached", "failed")
+            if self.count(state)
+        ]
+        body = ", ".join(parts) if parts else "nothing to do"
+        return f"sweep finished: {body} ({self.finished}/{self.total} runs)"
+
+    # ------------------------------------------------------------------
+    def _emit(self, line: str) -> None:
+        if self.enabled:
+            print(line, file=self.stream, flush=True)

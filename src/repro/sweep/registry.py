@@ -1,0 +1,166 @@
+"""Persistent run registry: append-only JSONL under ``results/registry/``.
+
+Two files:
+
+``runs.jsonl``
+    One record per *executed* run (completed, resumed, or failed): run key,
+    sweep name, resolved config, artifact paths, summary metrics.  Cached
+    hits do **not** re-append — resubmitting an identical grid leaves
+    ``runs.jsonl`` untouched.  The latest record per key wins on load, so a
+    failed run that later succeeds is superseded in place.
+
+``sweeps.jsonl``
+    One record per sweep invocation: spec name + hash, the ordered run
+    keys, and outcome counts.  This is the audit trail of grid
+    submissions, including fully-cached ones.
+
+Both files are plain line-oriented JSON — greppable, diffable, and
+consumed by ``repro results --registry`` for cross-sweep comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["RunRegistry", "RegistryError", "parse_where"]
+
+_RUNS = "runs.jsonl"
+_SWEEPS = "sweeps.jsonl"
+
+
+class RegistryError(ValueError):
+    """A registry file is unreadable or a record is malformed."""
+
+
+def _append_jsonl(path: str, record: Dict[str, Any]) -> None:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(line + "\n")
+        f.flush()
+
+
+def _read_jsonl(path: str) -> List[Dict[str, Any]]:
+    if not os.path.exists(path):
+        return []
+    records = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise RegistryError(f"{path}:{lineno}: not valid JSON: {exc}")
+            if not isinstance(record, dict):
+                raise RegistryError(f"{path}:{lineno}: record must be an object")
+            records.append(record)
+    return records
+
+
+class RunRegistry:
+    """Append-only registry of runs and sweep submissions."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    @property
+    def runs_path(self) -> str:
+        return os.path.join(self.root, _RUNS)
+
+    @property
+    def sweeps_path(self) -> str:
+        return os.path.join(self.root, _SWEEPS)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def record_run(self, record: Dict[str, Any]) -> None:
+        """Append one run record (must carry ``run_key`` and ``status``)."""
+        for required in ("run_key", "status"):
+            if required not in record:
+                raise RegistryError(f"run record is missing '{required}'")
+        _append_jsonl(self.runs_path, record)
+
+    def record_sweep(self, record: Dict[str, Any]) -> None:
+        """Append one sweep-submission record (must carry ``name``)."""
+        if "name" not in record:
+            raise RegistryError("sweep record is missing 'name'")
+        _append_jsonl(self.sweeps_path, record)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def runs(self) -> Dict[str, Dict[str, Any]]:
+        """Latest record per run key, in first-seen key order."""
+        latest: Dict[str, Dict[str, Any]] = {}
+        for record in _read_jsonl(self.runs_path):
+            latest[record["run_key"]] = record
+        return latest
+
+    def sweeps(self) -> List[Dict[str, Any]]:
+        return _read_jsonl(self.sweeps_path)
+
+    def get(self, run_key: str) -> Optional[Dict[str, Any]]:
+        return self.runs().get(run_key)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, where: Optional[Dict[str, str]] = None) -> List[Dict[str, Any]]:
+        """Filter run records by stringified field equality.
+
+        ``where`` maps field names to expected values; fields are looked
+        up first on the record, then inside its ``config.setting`` and
+        ``config.overrides`` sub-objects, so ``{"algorithm": "fedpkd",
+        "partition": "dir0.5", "seed": "0"}`` all work.  Values compare as
+        strings (the CLI passes everything as text).
+        """
+        records = list(self.runs().values())
+        if not where:
+            return records
+
+        def lookup(record: Dict[str, Any], field: str) -> Any:
+            if field in record:
+                return record[field]
+            config = record.get("config") or {}
+            setting = config.get("setting") or {}
+            if field in setting:
+                return setting[field]
+            overrides = config.get("overrides") or {}
+            if field in overrides:
+                return overrides[field]
+            if field in config:
+                return config[field]
+            return None
+
+        matched = []
+        for record in records:
+            if all(
+                _as_text(lookup(record, field)) == str(value)
+                for field, value in where.items()
+            ):
+                matched.append(record)
+        return matched
+
+
+def _as_text(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value).lower()
+    return str(value)
+
+
+def parse_where(pairs: Iterable[str]) -> Dict[str, str]:
+    """Parse CLI ``field=value`` filters into a query dict."""
+    where: Dict[str, str] = {}
+    for pair in pairs:
+        field, sep, value = pair.partition("=")
+        if not sep or not field:
+            raise RegistryError(
+                f"--where expects field=value, got '{pair}'"
+            )
+        where[field] = value
+    return where
