@@ -9,10 +9,20 @@ Measures three levels of the stack with ``time.perf_counter``:
 - ``fedpkd_round``  — one full FedPKD round at the ``tiny`` scale
   (local training, logit exchange, filtering, aggregation, distillation).
 
-Writes the numbers as ``BENCH_6.json`` so successive PRs can compare the
+plus one robustness scenario:
+
+- ``straggler``     — one FedPKD round with one client injected to run
+  10x slower than its peers, under the synchronous barrier engine vs the
+  asynchronous buffered engine (``--scenario straggler``).  The barrier
+  waits for the straggler; the async engine aggregates the fast clients
+  and — because arrival-time compute is lazy — never even computes the
+  straggler's work.  The acceptance bar is async < 0.5x the sync
+  wall-clock.
+
+Writes the numbers as ``BENCH_7.json`` so successive PRs can compare the
 end-to-end trajectory, not just micro-kernels:
 
-    PYTHONPATH=src python scripts/bench_trajectory.py --out BENCH_6.json
+    PYTHONPATH=src python scripts/bench_trajectory.py --out BENCH_7.json
 
 The per-suite pytest-benchmark file (benchmarks/test_substrate_perf.py)
 stays the fine-grained regression gate; this script is the coarse
@@ -80,9 +90,109 @@ def bench_fedpkd_round():
         federation.close()
 
 
+SLOW_FACTOR = 10.0
+
+
+def _timed_round(runner):
+    start = time.perf_counter()
+    runner.run(1)
+    return time.perf_counter() - start
+
+
+def _make_algo(setting):
+    federation = federation_for(setting, "fedpkd")
+    algo = build_algorithm(
+        "fedpkd",
+        federation,
+        seed=setting.seed,
+        epoch_scale=setting.scale_config().epoch_scale,
+    )
+    return federation, algo
+
+
+def _inject_straggler(algo, client_id, sleep_s):
+    """Make one client's local training take ``sleep_s`` extra seconds."""
+    client = algo.clients[client_id]
+    original = client.train_local
+
+    def slow_train_local(*args, **kwargs):
+        time.sleep(sleep_s)
+        return original(*args, **kwargs)
+
+    client.train_local = slow_train_local
+
+
+def bench_straggler_scenario():
+    """Sync-barrier vs async-engine wall-clock under one 10x straggler."""
+    from repro.fl import AsyncRoundEngine
+
+    setting = ExperimentSetting(scale="tiny", seed=0)
+
+    # calibration: one clean synchronous round sets the nominal duration a
+    # healthy client federation needs, and hence the straggler's slowdown
+    federation, algo = _make_algo(setting)
+    try:
+        num_clients = federation.num_clients
+        straggler_id = num_clients - 1
+        t_nominal = _timed_round(algo)
+    finally:
+        federation.close()
+    sleep_s = (SLOW_FACTOR - 1.0) * t_nominal
+
+    # synchronous barrier: the round cannot finish before the straggler
+    federation, algo = _make_algo(setting)
+    try:
+        _inject_straggler(algo, straggler_id, sleep_s)
+        t_sync = _timed_round(algo)
+    finally:
+        federation.close()
+
+    # async engine: buffer of n-1 aggregates the fast clients; the
+    # straggler's dispatch stays in flight and (compute being lazy at
+    # arrival) its training never runs, so the sleep is never paid
+    federation, algo = _make_algo(setting)
+    try:
+        _inject_straggler(algo, straggler_id, sleep_s)
+        engine = AsyncRoundEngine(
+            algo,
+            max_staleness=2,
+            buffer_size=num_clients - 1,
+            fault_plan={
+                "faults": [
+                    {
+                        "kind": "straggler",
+                        "client_id": straggler_id,
+                        "factor": SLOW_FACTOR,
+                    }
+                ]
+            },
+        )
+        t_async = _timed_round(engine)
+    finally:
+        federation.close()
+
+    ratio = t_async / t_sync
+    return {
+        "num_clients": num_clients,
+        "straggler_client": straggler_id,
+        "slow_factor": SLOW_FACTOR,
+        "injected_sleep_s": round(sleep_s, 4),
+        "sync_round_s": round(t_sync, 4),
+        "async_round_s": round(t_async, 4),
+        "async_vs_sync_ratio": round(ratio, 4),
+        "meets_half_sync_bar": ratio < 0.5,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_6.json", metavar="PATH")
+    parser.add_argument("--out", default="BENCH_7.json", metavar="PATH")
+    parser.add_argument(
+        "--scenario",
+        choices=("all", "trajectory", "straggler"),
+        default="all",
+        help="which benchmarks to run (default: all)",
+    )
     args = parser.parse_args(argv)
 
     results = {
@@ -90,17 +200,30 @@ def main(argv=None):
         "repro_version": repro.__version__,
         "python": platform.python_version(),
         "numpy": np.__version__,
-        "ops": {
-            "conv2d": bench_conv2d(),
-            "matmul": bench_matmul(),
-            "fedpkd_round": bench_fedpkd_round(),
-        },
+        "ops": {},
     }
+    if args.scenario in ("all", "trajectory"):
+        results["ops"].update(
+            {
+                "conv2d": bench_conv2d(),
+                "matmul": bench_matmul(),
+                "fedpkd_round": bench_fedpkd_round(),
+            }
+        )
+    if args.scenario in ("all", "straggler"):
+        results["scenarios"] = {"straggler": bench_straggler_scenario()}
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(results, f, indent=2)
         f.write("\n")
     for name, stats in results["ops"].items():
         print(f"{name:13} {stats['ops_per_sec']:10.3f} ops/s ({stats['reps']} reps)")
+    for name, stats in results.get("scenarios", {}).items():
+        print(
+            f"{name:13} sync={stats['sync_round_s']:.3f}s "
+            f"async={stats['async_round_s']:.3f}s "
+            f"ratio={stats['async_vs_sync_ratio']:.3f} "
+            f"(bar: <0.5 {'met' if stats['meets_half_sync_bar'] else 'MISSED'})"
+        )
     print(f"written to {args.out}")
     return 0
 

@@ -97,6 +97,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-client task timeout; a timed-out client drops out of the round",
     )
     run_p.add_argument(
+        "--retry-backoff-s",
+        type=float,
+        default=0.0,
+        help="base seconds of the capped exponential backoff (seeded jitter) "
+        "slept between parallel-executor retry attempts (default 0: retry "
+        "immediately)",
+    )
+    run_p.add_argument(
+        "--engine",
+        choices=("sync", "async"),
+        default="sync",
+        help="round engine: 'sync' (barrier, the reference) or 'async' "
+        "(event-driven buffered aggregation with staleness discounts; "
+        "docs/ASYNC.md)",
+    )
+    run_p.add_argument(
+        "--max-staleness",
+        type=int,
+        default=0,
+        metavar="S",
+        help="async: discard contributions more than S server versions old "
+        "(default 0)",
+    )
+    run_p.add_argument(
+        "--staleness-alpha",
+        type=float,
+        default=0.5,
+        metavar="A",
+        help="async: staleness discount base — an s-versions-old "
+        "contribution weighs alpha**s (default 0.5)",
+    )
+    run_p.add_argument(
+        "--buffer-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help="async: aggregate once K contributions arrive (default: wait "
+        "for the whole pipeline — the sync-equivalent degenerate mode)",
+    )
+    run_p.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN.json",
+        help="async: JSON fault plan injecting deterministic chaos "
+        "(stragglers, crashes, flaky clients, churn; docs/ASYNC.md)",
+    )
+    run_p.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
@@ -212,6 +259,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_workers=args.max_workers,
         task_timeout_s=args.task_timeout_s,
+        retry_backoff_s=args.retry_backoff_s,
+        engine=args.engine,
+        max_staleness=args.max_staleness,
+        staleness_alpha=args.staleness_alpha,
+        buffer_size=args.buffer_size,
+        fault_plan=args.fault_plan,
         checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
         checkpoint_path=args.checkpoint,
         trace_path=args.trace,

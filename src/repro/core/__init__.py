@@ -12,6 +12,8 @@ from .aggregation import (
     entropy_weighted_aggregate,
     equal_average_aggregate,
     logit_variances,
+    staleness_discounted_aggregate,
+    staleness_weights,
     variance_weighted_aggregate,
 )
 from .distillation import prototype_ensemble_distill
@@ -32,6 +34,8 @@ __all__ = [
     "entropy_reduction_aggregate",
     "entropy_weighted_aggregate",
     "logit_variances",
+    "staleness_weights",
+    "staleness_discounted_aggregate",
     "aggregate_prototypes",
     "merge_prototypes",
     "prototype_coverage",

@@ -18,6 +18,8 @@ __all__ = [
     "entropy_reduction_aggregate",
     "entropy_weighted_aggregate",
     "logit_variances",
+    "staleness_weights",
+    "staleness_discounted_aggregate",
 ]
 
 
@@ -91,6 +93,84 @@ def entropy_weighted_aggregate(client_logits: Sequence[np.ndarray]) -> np.ndarra
     with np.errstate(invalid="ignore", divide="ignore"):
         weights = np.where(totals > 0, confidence / totals, 1.0 / num_clients)
     return np.einsum("cs,csn->sn", weights, stacked)
+
+
+def staleness_weights(
+    staleness: Sequence[int], alpha: float = 0.5
+) -> np.ndarray:
+    """Per-client staleness discounts ``alpha ** s`` (buffered-async FL).
+
+    ``staleness[i]`` is the number of server versions that elapsed between
+    client ``i``'s dispatch and the aggregation consuming its contribution
+    (0 = fresh).  ``alpha`` in ``(0, 1]`` controls how fast stale knowledge
+    decays; ``alpha = 1`` ignores staleness entirely.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    staleness = np.asarray(staleness, dtype=np.int64)
+    if (staleness < 0).any():
+        raise ValueError("staleness values must be >= 0")
+    return np.power(float(alpha), staleness.astype(np.float64))
+
+
+def staleness_discounted_aggregate(
+    client_logits: Sequence[np.ndarray],
+    client_weights: Sequence[float],
+    mode: str = "variance",
+) -> np.ndarray:
+    """Aggregate client logits with per-client staleness discounts.
+
+    The base rule's per-sample mixing weights (Eq. 6/7 for ``"variance"``,
+    uniform for ``"equal"``, negative-entropy confidence for ``"entropy"``)
+    are scaled by each client's ``client_weights`` entry (typically
+    :func:`staleness_weights`) and renormalised per sample, so a stale
+    contribution is folded in with proportionally less influence instead
+    of being discarded.
+
+    When every weight equals 1.0 this delegates to the undiscounted rule
+    and is **bit-identical** to it — the property the async engine's
+    serial-reference equivalence relies on.
+    """
+    if mode not in ("variance", "equal", "entropy"):
+        raise ValueError(f"unknown aggregation mode '{mode}'")
+    weights = np.asarray(client_weights, dtype=np.float64)
+    if len(weights) != len(client_logits):
+        raise ValueError("client_weights must align with client_logits")
+    if (weights < 0).any():
+        raise ValueError("client_weights must be non-negative")
+    if np.all(weights == 1.0):
+        if mode == "variance":
+            return variance_weighted_aggregate(client_logits)
+        if mode == "entropy":
+            return entropy_weighted_aggregate(client_logits)
+        return equal_average_aggregate(client_logits)
+    if not weights.any():
+        raise ValueError("at least one client weight must be positive")
+    stacked = _stack(client_logits)
+    num_clients, num_samples = stacked.shape[0], stacked.shape[1]
+    if mode == "variance":
+        base = variance_weights(client_logits)  # (C, S)
+    elif mode == "entropy":
+        shifted = stacked - stacked.max(axis=2, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=2, keepdims=True)
+        entropy = -(probs * np.log(probs + 1e-12)).sum(axis=2)
+        confidence = np.log(stacked.shape[2]) - entropy
+        totals = confidence.sum(axis=0, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            base = np.where(totals > 0, confidence / totals, 1.0 / num_clients)
+    else:
+        base = np.full((num_clients, num_samples), 1.0 / num_clients)
+    mixed = base * weights[:, None]  # (C, S)
+    totals = mixed.sum(axis=0, keepdims=True)  # (1, S)
+    # a column can zero out when the only confident clients are weighted to
+    # ~0; fall back to the pure staleness weights there
+    fallback = np.broadcast_to(
+        (weights / weights.sum())[:, None], mixed.shape
+    )
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mixed = np.where(totals > 0, mixed / totals, fallback)
+    return np.einsum("cs,csn->sn", mixed, stacked)
 
 
 def entropy_reduction_aggregate(

@@ -37,6 +37,7 @@ from ..runtime import PUBLIC_X
 from .aggregation import (
     entropy_weighted_aggregate,
     equal_average_aggregate,
+    staleness_discounted_aggregate,
     variance_weighted_aggregate,
     variance_weights,
 )
@@ -45,6 +46,11 @@ from .filtering import FilterResult, prototype_filter, random_filter
 from .prototypes import merge_prototypes, aggregate_prototypes, prototype_coverage
 
 __all__ = ["FedPKDConfig", "FedPKD"]
+
+# sentinel: "use the algorithm's current global prototypes" — distinct from
+# an explicit None (no prototypes yet), which async dispatch snapshots need
+# to be able to say
+_CURRENT = object()
 
 
 @dataclass
@@ -137,11 +143,15 @@ class FedPKD(FederatedAlgorithm):
     # ------------------------------------------------------------------
     # round phases
     # ------------------------------------------------------------------
-    def _client_local_phase(self, participants: List[FLClient]) -> None:
+    def _client_local_phase(
+        self, participants: List[FLClient], prototypes=_CURRENT
+    ) -> None:
         cfg = self.config
+        if prototypes is _CURRENT:
+            prototypes = self.global_prototypes
         use_protos = (
             cfg.client_prototype_loss
-            and self.global_prototypes is not None
+            and prototypes is not None
             and cfg.epsilon > 0.0
         )
         self.map_clients(
@@ -149,7 +159,7 @@ class FedPKD(FederatedAlgorithm):
             "train_local",
             {
                 "config": cfg.local,
-                "prototypes": self.global_prototypes if use_protos else None,
+                "prototypes": prototypes if use_protos else None,
                 "prototype_weight": cfg.epsilon if use_protos else 0.0,
             },
             stage="local_train",
@@ -185,15 +195,25 @@ class FedPKD(FederatedAlgorithm):
             counts_list.append(counts)
         return logits_list, protos_list, counts_list
 
-    def _aggregate(self, logits_list, protos_list, counts_list) -> np.ndarray:
+    def _aggregate(
+        self, logits_list, protos_list, counts_list, client_weights=None
+    ) -> np.ndarray:
         cfg = self.config
-        if cfg.aggregation == "variance":
+        if client_weights is not None:
+            # async staleness discounts (alpha ** s); delegates to the exact
+            # undiscounted rule below when every weight is 1.0
+            aggregated = staleness_discounted_aggregate(
+                logits_list, client_weights, mode=cfg.aggregation
+            )
+        elif cfg.aggregation == "variance":
             aggregated = variance_weighted_aggregate(logits_list)
         elif cfg.aggregation == "entropy":
             aggregated = entropy_weighted_aggregate(logits_list)
         else:
             aggregated = equal_average_aggregate(logits_list)
-        new_protos = aggregate_prototypes(protos_list, counts_list)
+        new_protos = aggregate_prototypes(
+            protos_list, counts_list, client_weights=client_weights
+        )
         self.global_prototypes = merge_prototypes(new_protos, self.global_prototypes)
         if self.tracer.enabled:
             attrs = {"mode": cfg.aggregation, "clients": len(logits_list)}
@@ -332,6 +352,70 @@ class FedPKD(FederatedAlgorithm):
         result = self._filter(aggregated)
         server_loss = self._server_phase(aggregated, result)
         self._client_public_phase(participants, result)
+        return {
+            "server_loss": server_loss,
+            "num_selected": float(result.num_selected),
+            "proto_coverage": float(prototype_coverage(self.global_prototypes).mean()),
+        }
+
+    # ------------------------------------------------------------------
+    # async engine protocol (repro.fl.async_engine)
+    #
+    # The sync round above is the bit-identical reference: per-client work
+    # (local training + dual-knowledge uplink) against a dispatch-time
+    # server snapshot, then a buffered server update with per-contribution
+    # staleness discounts.  With zero delays, a full buffer and all-ones
+    # weights the async engine replays exactly the sequence of operations
+    # run_round performs.
+    # ------------------------------------------------------------------
+    supports_async = True
+
+    def async_dispatch_state(self) -> Dict[str, Optional[np.ndarray]]:
+        """Server state a dispatch is computed against (frozen per version)."""
+        protos = self.global_prototypes
+        return {
+            "global_prototypes": None if protos is None else protos.copy()
+        }
+
+    def async_client_work(
+        self, participants: List[FLClient], snapshot: Dict
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """One dispatched client's uplink contribution (lazy, at event pop).
+
+        ``participants`` is a single-client list the engine may shrink in
+        place on a runtime dropout, mirroring :meth:`run_round`'s phases;
+        returns ``None`` when the client dropped mid-work.
+        """
+        self._client_local_phase(
+            participants, prototypes=snapshot.get("global_prototypes")
+        )
+        logits_list, protos_list, counts_list = self._collect_dual_knowledge(
+            participants
+        )
+        if not participants:
+            return None
+        return {
+            "logits": logits_list[0],
+            "prototypes": protos_list[0],
+            "class_counts": counts_list[0],
+        }
+
+    def async_server_update(
+        self,
+        contributions: List[Dict[str, np.ndarray]],
+        client_weights: List[float],
+        contributors: List[FLClient],
+    ) -> Dict[str, float]:
+        """Fold one buffer of contributions into the server (one round)."""
+        aggregated = self._aggregate(
+            [c["logits"] for c in contributions],
+            [c["prototypes"] for c in contributions],
+            [c["class_counts"] for c in contributions],
+            client_weights=client_weights,
+        )
+        result = self._filter(aggregated)
+        server_loss = self._server_phase(aggregated, result)
+        self._client_public_phase(list(contributors), result)
         return {
             "server_loss": server_loss,
             "num_selected": float(result.num_selected),

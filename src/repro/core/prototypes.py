@@ -27,6 +27,7 @@ def aggregate_prototypes(
     client_prototypes: Sequence[np.ndarray],
     client_class_counts: Sequence[np.ndarray],
     paper_literal: bool = False,
+    client_weights: Optional[Sequence[float]] = None,
 ) -> np.ndarray:
     """Aggregate per-client prototypes into global prototypes (Eq. 8).
 
@@ -45,21 +46,39 @@ def aggregate_prototypes(
         absent classes.
     client_class_counts:
         One ``(num_classes,)`` integer array per client.
+    client_weights:
+        Optional per-client discount (the async engine's staleness weights
+        ``alpha ** s``): a client's effective sample count becomes
+        ``weight * |D_c^j|``, so stale prototype contributions are folded
+        in with less influence.  A weight of exactly 0 excludes the client.
+        ``None`` (and all-ones) reproduce the unweighted rule bit-for-bit.
     """
     if len(client_prototypes) == 0:
         raise ValueError("no client prototypes to aggregate")
     if len(client_prototypes) != len(client_class_counts):
         raise ValueError("prototypes and counts must align per client")
+    if client_weights is None:
+        weights = [1.0] * len(client_prototypes)
+    else:
+        weights = [float(w) for w in client_weights]
+        if len(weights) != len(client_prototypes):
+            raise ValueError("client_weights must align per client")
+        if any(w < 0 for w in weights):
+            raise ValueError("client_weights must be non-negative")
     num_classes, feature_dim = client_prototypes[0].shape
     global_protos = np.full((num_classes, feature_dim), np.nan)
     for cls in range(num_classes):
         weighted = np.zeros(feature_dim)
         total_count = 0.0
         contributors = 0
-        for protos, counts in zip(client_prototypes, client_class_counts):
+        for protos, counts, w in zip(
+            client_prototypes, client_class_counts, weights
+        ):
             count = float(counts[cls])
-            if count <= 0 or np.isnan(protos[cls]).any():
+            if w == 0.0 or count <= 0 or np.isnan(protos[cls]).any():
                 continue
+            if w != 1.0:
+                count *= w
             weighted += count * protos[cls]
             total_count += count
             contributors += 1

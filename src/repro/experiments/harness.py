@@ -16,6 +16,7 @@ import numpy as np
 
 from ..algorithms import algorithm_supports, build_algorithm
 from ..data.datasets import FederatedDataBundle, make_task
+from ..fl.async_engine import AsyncRoundEngine
 from ..fl.checkpoint import load_checkpoint, load_history, read_checkpoint_meta
 from ..fl.config import FederationConfig
 from ..fl.metrics import RunHistory
@@ -98,6 +99,14 @@ class ExperimentSetting:
     executor: str = "serial"
     max_workers: Optional[int] = None
     task_timeout_s: Optional[float] = None
+    retry_backoff_s: float = 0.0
+    # round engine (see repro.fl.async_engine / docs/ASYNC.md); the async
+    # knobs are ignored under the default sync engine
+    engine: str = "sync"
+    max_staleness: int = 0
+    staleness_alpha: float = 0.5
+    buffer_size: Optional[int] = None
+    fault_plan: Optional[object] = None  # JSON path, dict, or FaultPlan
     # exact-resume autosave (see repro.fl.checkpoint / docs/CHECKPOINT.md)
     checkpoint_every: int = 0
     checkpoint_path: Optional[str] = None
@@ -204,6 +213,12 @@ def federation_for(
         executor=setting.executor,
         max_workers=setting.max_workers,
         task_timeout_s=setting.task_timeout_s,
+        retry_backoff_s=setting.retry_backoff_s,
+        engine=setting.engine,
+        max_staleness=setting.max_staleness,
+        staleness_alpha=setting.staleness_alpha,
+        buffer_size=setting.buffer_size,
+        fault_plan=setting.fault_plan,
         checkpoint_every=setting.checkpoint_every,
         checkpoint_path=setting.resolve_artifact(setting.checkpoint_path),
         trace_path=setting.resolve_artifact(setting.trace_path),
@@ -239,6 +254,17 @@ def run_algorithm(
             **config_overrides,
         )
         total_rounds = rounds or sc.rounds
+        # the engine must exist before load_checkpoint: async checkpoints
+        # carry pipeline state the loader hands to algo.async_engine
+        runner = algo
+        if setting.engine == "async":
+            runner = AsyncRoundEngine(
+                algo,
+                max_staleness=setting.max_staleness,
+                staleness_alpha=setting.staleness_alpha,
+                buffer_size=setting.buffer_size,
+                fault_plan=setting.fault_plan,
+            )
         history: Optional[RunHistory] = None
         rounds_done = 0
         if resume:
@@ -256,7 +282,7 @@ def run_algorithm(
                 history = load_history(ckpt_path)
         remaining = max(0, total_rounds - rounds_done)
         if remaining > 0:
-            history = algo.run(remaining, eval_every=eval_every, history=history)
+            history = runner.run(remaining, eval_every=eval_every, history=history)
         elif history is None:
             history = RunHistory(
                 algo.name, dataset=setting.dataset, config={"rounds": total_rounds}

@@ -1,5 +1,6 @@
 """Federated-learning simulation framework: clients, server, channel, engine."""
 
+from .async_engine import AsyncRoundEngine, EngineStalledError
 from .channel import ChannelSnapshot, CommChannel
 from .checkpoint import (
     CheckpointError,
@@ -9,7 +10,14 @@ from .checkpoint import (
 )
 from .client import FLClient
 from .config import FederationConfig, TrainingConfig
-from .failures import DropoutLog, ParticipationSampler, RuntimeDropout
+from .failures import (
+    DropoutLog,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    ParticipationSampler,
+    RuntimeDropout,
+)
 from .metrics import RoundRecord, RunHistory
 from .server import FLServer
 from .simulation import Federation, FederatedAlgorithm, build_federation
@@ -22,6 +30,11 @@ from .training import (
 )
 
 __all__ = [
+    "AsyncRoundEngine",
+    "EngineStalledError",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
     "CommChannel",
     "ChannelSnapshot",
     "CheckpointError",

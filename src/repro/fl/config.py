@@ -70,6 +70,31 @@ class FederationConfig:
         dropout for that round.  ``None`` disables the deadline.
     task_retries:
         Extra attempts granted to a task after a timeout or worker death.
+    retry_backoff_s:
+        Base seconds of the capped exponential backoff the parallel
+        executor sleeps between retry attempts (seeded jitter included);
+        0 retries immediately (the historical behaviour).
+    engine:
+        Round engine: ``"sync"`` (the barrier engine, bit-identical
+        reference) or ``"async"`` (event-driven streaming aggregation with
+        staleness discounts; see :mod:`repro.fl.async_engine` and
+        docs/ASYNC.md).  Async with ``max_staleness=0``, a full buffer and
+        no faults reproduces the sync history bit-for-bit.
+    max_staleness:
+        Async engine: contributions older than this many server versions
+        at arrival are discarded (and counted) instead of aggregated.
+    staleness_alpha:
+        Async engine: staleness discount base — a contribution that is
+        ``s`` versions old is folded in with weight ``alpha ** s``.
+    buffer_size:
+        Async engine: aggregate as soon as this many contributions have
+        arrived.  ``None`` (default) waits for every in-flight dispatch —
+        the full-barrier degenerate mode.
+    fault_plan:
+        Deterministic chaos schedule for the async engine: a JSON file
+        path, an inline dict, or a :class:`~repro.fl.failures.FaultPlan`
+        (stragglers, crashes, flaky clients, churn).  ``None`` injects
+        nothing.
     checkpoint_every:
         Autosave cadence in rounds for exact-resume checkpoints (0 = off).
         Saves also fire on the final round, so an interrupted run can always
@@ -102,6 +127,12 @@ class FederationConfig:
     max_workers: Optional[int] = None
     task_timeout_s: Optional[float] = None
     task_retries: int = 1
+    retry_backoff_s: float = 0.0
+    engine: str = "sync"
+    max_staleness: int = 0
+    staleness_alpha: float = 0.5
+    buffer_size: Optional[int] = None
+    fault_plan: Optional[Union[str, Dict, object]] = None
     checkpoint_every: int = 0
     checkpoint_path: Optional[str] = None
     trace_path: Optional[str] = None
@@ -123,6 +154,18 @@ class FederationConfig:
             raise ValueError("task_timeout_s must be positive")
         if self.task_retries < 0:
             raise ValueError("task_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        if self.engine not in ("sync", "async"):
+            raise ValueError(f"unknown engine '{self.engine}'")
+        if self.max_staleness < 0:
+            raise ValueError("max_staleness must be >= 0")
+        if not 0.0 < self.staleness_alpha <= 1.0:
+            raise ValueError(
+                f"staleness_alpha must be in (0, 1], got {self.staleness_alpha}"
+            )
+        if self.buffer_size is not None and self.buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {self.buffer_size}")
         if self.checkpoint_every < 0:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"

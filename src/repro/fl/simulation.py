@@ -168,6 +168,11 @@ class FederatedAlgorithm:
 
     name = "base"
 
+    # Algorithms that implement the async-engine protocol
+    # (async_dispatch_state / async_client_work / async_server_update; see
+    # repro.fl.async_engine) flip this on.  The sync engine ignores it.
+    supports_async = False
+
     def __init__(self, federation: Federation, seed: int = 0) -> None:
         self.federation = federation
         self.rng = np.random.default_rng(seed)
@@ -307,6 +312,90 @@ class FederatedAlgorithm:
     def evaluate_clients(self) -> List[float]:
         return [c.evaluate() for c in self.clients]
 
+    # ------------------------------------------------------------------
+    # round bookkeeping shared by the sync loop and the async engine
+    # (repro.fl.async_engine) — the record path must be byte-identical
+    # between the two for the engines' equivalence contract to hold
+    # ------------------------------------------------------------------
+    def _collect_round_costs(self, wall_seconds: float) -> None:
+        """Fold one completed round's costs into the pending accumulators."""
+        self._pending_wall_time += wall_seconds
+        for stage_name, seconds in self.executor.pop_stage_times().items():
+            self._pending_stage_times[stage_name] = (
+                self._pending_stage_times.get(stage_name, 0.0) + seconds
+            )
+        self._pending_dropouts += self.dropout_log.count_for_round(
+            self.round_index
+        )
+
+    def _record_if_due(
+        self,
+        history: RunHistory,
+        extras: Dict[str, float],
+        final_round: bool,
+        eval_every: int,
+        verbose: bool = False,
+    ) -> None:
+        """Evaluate and append a :class:`RoundRecord` at eval boundaries."""
+        if not (final_round or self.round_index % eval_every == 0):
+            return
+        tracer = self.tracer
+        snap = self.channel.mark_round()
+        extras = dict(extras)
+        for stage_name, seconds in self._pending_stage_times.items():
+            extras.setdefault(f"time/{stage_name}", seconds)
+        if self._pending_dropouts:
+            extras.setdefault("runtime_dropouts", float(self._pending_dropouts))
+        with tracer.span(
+            "eval", scope="stage", attrs={"round": self.round_index}
+        ) as eval_span:
+            server_acc = self.evaluate_server()
+            client_accs = self.evaluate_clients()
+            eval_span.set_attr("server_acc", server_acc)
+        if self.metrics.enabled:
+            self.metrics.gauge("run/server_acc").set(server_acc)
+            mean_acc = (
+                sum(client_accs) / len(client_accs)
+                if client_accs
+                else float("nan")
+            )
+            self.metrics.gauge("run/mean_client_acc").set(mean_acc)
+            self.metrics.gauge("run/round_index").set(self.round_index)
+            for key, value in self.metrics.snapshot().items():
+                extras.setdefault(key, value)
+        record = RoundRecord(
+            round_index=self.round_index,
+            server_acc=server_acc,
+            client_accs=client_accs,
+            comm_uplink_bytes=snap.uplink,
+            comm_downlink_bytes=snap.downlink,
+            wall_time_s=self._pending_wall_time,
+            extras=extras,
+        )
+        history.append(record)
+        tracer.event(
+            "round_record",
+            scope="round",
+            attrs={
+                "round": record.round_index,
+                "server_acc": record.server_acc,
+                "mean_client_acc": record.mean_client_acc,
+                "comm_mb": record.comm_total_mb,
+                "wall_time_s": record.wall_time_s,
+            },
+        )
+        self._pending_wall_time = 0.0
+        self._pending_stage_times = {}
+        self._pending_dropouts = 0
+        self.obs.export_metrics()
+        if verbose:
+            print(
+                f"[{self.name}] round {self.round_index}: "
+                f"S_acc={record.server_acc:.3f} "
+                f"C_acc={record.mean_client_acc:.3f} "
+                f"comm={record.comm_total_mb:.2f}MB"
+            )
+
     def run(
         self,
         rounds: int,
@@ -375,73 +464,11 @@ class FederatedAlgorithm:
                     round_span.set_attr("participants", len(participants))
                     extras = self.run_round(participants) or {}
                 self.round_index += 1
-                self._pending_wall_time += time.perf_counter() - start
-                for stage_name, seconds in self.executor.pop_stage_times().items():
-                    self._pending_stage_times[stage_name] = (
-                        self._pending_stage_times.get(stage_name, 0.0) + seconds
-                    )
-                self._pending_dropouts += self.dropout_log.count_for_round(
-                    self.round_index
-                )
+                self._collect_round_costs(time.perf_counter() - start)
                 final_round = r == rounds - 1
-                if final_round or self.round_index % eval_every == 0:
-                    snap = self.channel.mark_round()
-                    extras = dict(extras)
-                    for stage_name, seconds in self._pending_stage_times.items():
-                        extras.setdefault(f"time/{stage_name}", seconds)
-                    if self._pending_dropouts:
-                        extras.setdefault(
-                            "runtime_dropouts", float(self._pending_dropouts)
-                        )
-                    with tracer.span(
-                        "eval", scope="stage", attrs={"round": self.round_index}
-                    ) as eval_span:
-                        server_acc = self.evaluate_server()
-                        client_accs = self.evaluate_clients()
-                        eval_span.set_attr("server_acc", server_acc)
-                    if self.metrics.enabled:
-                        self.metrics.gauge("run/server_acc").set(server_acc)
-                        mean_acc = (
-                            sum(client_accs) / len(client_accs)
-                            if client_accs
-                            else float("nan")
-                        )
-                        self.metrics.gauge("run/mean_client_acc").set(mean_acc)
-                        self.metrics.gauge("run/round_index").set(self.round_index)
-                        for key, value in self.metrics.snapshot().items():
-                            extras.setdefault(key, value)
-                    record = RoundRecord(
-                        round_index=self.round_index,
-                        server_acc=server_acc,
-                        client_accs=client_accs,
-                        comm_uplink_bytes=snap.uplink,
-                        comm_downlink_bytes=snap.downlink,
-                        wall_time_s=self._pending_wall_time,
-                        extras=extras,
-                    )
-                    history.append(record)
-                    tracer.event(
-                        "round_record",
-                        scope="round",
-                        attrs={
-                            "round": record.round_index,
-                            "server_acc": record.server_acc,
-                            "mean_client_acc": record.mean_client_acc,
-                            "comm_mb": record.comm_total_mb,
-                            "wall_time_s": record.wall_time_s,
-                        },
-                    )
-                    self._pending_wall_time = 0.0
-                    self._pending_stage_times = {}
-                    self._pending_dropouts = 0
-                    self.obs.export_metrics()
-                    if verbose:
-                        print(
-                            f"[{self.name}] round {self.round_index}: "
-                            f"S_acc={record.server_acc:.3f} "
-                            f"C_acc={record.mean_client_acc:.3f} "
-                            f"comm={record.comm_total_mb:.2f}MB"
-                        )
+                self._record_if_due(
+                    history, extras, final_round, eval_every, verbose
+                )
                 if autosave and (
                     final_round or self.round_index % checkpoint_every == 0
                 ):

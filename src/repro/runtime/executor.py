@@ -31,6 +31,8 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..nn.serialize import deserialize_state, serialize_state
 from ..obs import NULL_OBS
 from ..obs.metrics import DEFAULT_TIME_BUCKETS
@@ -199,26 +201,45 @@ class ParallelExecutor(Executor):
         dropout for the round.
     task_retries:
         Extra attempts after the first, for timeouts and worker deaths.
+    retry_backoff_s:
+        Base of the capped exponential backoff slept before each retry
+        resubmission: attempt ``k`` waits
+        ``min(cap, retry_backoff_s * 2**(k-1))`` scaled into ``[50%,
+        100%]`` by a *seeded* jitter draw, so retry timing is reproducible
+        for a fixed ``backoff_seed`` yet never synchronises colliding
+        retries.  0 (the default) retries immediately — the historical
+        behaviour.
+    backoff_seed:
+        Seed of the jitter stream (defaults to the federation seed via
+        :func:`make_executor`).
     """
 
     name = "parallel"
     # pool collapses tolerated per stage before degrading to inline
     _MAX_RECYCLES_PER_STAGE = 3
+    # ceiling on a single backoff sleep, however many retries accumulate
+    _BACKOFF_CAP_S = 30.0
 
     def __init__(
         self,
         max_workers: Optional[int] = None,
         task_timeout_s: Optional[float] = None,
         task_retries: int = 1,
+        retry_backoff_s: float = 0.0,
+        backoff_seed: int = 0,
     ) -> None:
         super().__init__()
         if task_retries < 0:
             raise ValueError("task_retries must be >= 0")
         if task_timeout_s is not None and task_timeout_s <= 0:
             raise ValueError("task_timeout_s must be positive")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         self.max_workers = max_workers
         self.task_timeout_s = task_timeout_s
         self.task_retries = task_retries
+        self.retry_backoff_s = retry_backoff_s
+        self._backoff_rng = np.random.default_rng(backoff_seed)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._warned_inline = False
 
@@ -401,8 +422,35 @@ class ParallelExecutor(Executor):
                         by_id[tasks[j].client_id], tasks[j].method, tasks[j].kwargs
                     )
                 break
+            self._backoff_sleep(max(attempts[i], 1), tasks[i].stage)
             futures = self._submit(tasks, remaining, futures)
         return [o for o in outcomes if o is not None]
+
+    def _backoff_sleep(self, attempt: int, stage: str) -> float:
+        """Sleep the capped exponential backoff before a retry resubmission.
+
+        Returns the seconds slept (0.0 when backoff is disabled).  The
+        jitter draw comes from the executor's seeded stream, so the exact
+        delay sequence of a run is reproducible.
+        """
+        if self.retry_backoff_s <= 0:
+            return 0.0
+        base = min(
+            self._BACKOFF_CAP_S, self.retry_backoff_s * (2.0 ** (attempt - 1))
+        )
+        # "equal jitter": half the delay is deterministic, half scaled by a
+        # seeded uniform draw — spreads retries without collapsing to zero
+        delay = base * (0.5 + 0.5 * float(self._backoff_rng.random()))
+        if self._obs.enabled:
+            self._obs.tracer.event(
+                "retry_backoff",
+                scope="stage",
+                attrs={"stage": stage, "attempt": attempt, "backoff_s": delay},
+            )
+            if self._obs.metrics.enabled:
+                self._obs.metrics.counter("runtime/retry_backoffs").inc()
+        time.sleep(delay)
+        return delay
 
     def _submit(self, tasks, indices, futures=None):
         futures = dict(futures or {})
@@ -441,6 +489,8 @@ def make_executor(config) -> Executor:
             max_workers=getattr(config, "max_workers", None),
             task_timeout_s=getattr(config, "task_timeout_s", None),
             task_retries=getattr(config, "task_retries", 1),
+            retry_backoff_s=getattr(config, "retry_backoff_s", 0.0),
+            backoff_seed=getattr(config, "seed", 0),
         )
     if kind == "serial":
         return SerialExecutor()

@@ -56,11 +56,15 @@ __all__ = [
 
 #: Bump whenever the run-key canonicalisation below changes shape; old
 #: cache entries then stop matching instead of silently colliding.
-RUN_KEY_VERSION = 1
+#: v2: round-engine fields (engine / max_staleness / staleness_alpha /
+#: buffer_size / fault_plan) entered the key.
+RUN_KEY_VERSION = 2
 
 #: ExperimentSetting fields a spec may set (key fields affect results and
 #: enter the run key; runtime fields do not — histories are bit-identical
-#: across executors, so caching across them is sound).
+#: across executors, so caching across them is sound).  The async-engine
+#: knobs are key fields: staleness discounts, buffer triggers, and fault
+#: plans all change the recorded history.
 _KEY_SETTING_FIELDS = (
     "dataset",
     "partition",
@@ -68,11 +72,17 @@ _KEY_SETTING_FIELDS = (
     "scale",
     "seed",
     "scale_overrides",
+    "engine",
+    "max_staleness",
+    "staleness_alpha",
+    "buffer_size",
+    "fault_plan",
 )
 _RUNTIME_SETTING_FIELDS = (
     "executor",
     "max_workers",
     "task_timeout_s",
+    "retry_backoff_s",
 )
 _EXTRA_FIELDS = ("algorithm", "rounds", "eval_every")
 _ALLOWED_FIELDS = _KEY_SETTING_FIELDS + _RUNTIME_SETTING_FIELDS + _EXTRA_FIELDS
@@ -123,9 +133,23 @@ class RunSpec:
         one that leaves the default hash to the same run key.
         """
         setting = ExperimentSetting(**self.setting_fields)
+        setting_payload = {
+            k: getattr(setting, k) for k in _KEY_SETTING_FIELDS
+        }
+        if setting_payload.get("fault_plan") is not None:
+            # canonicalise to content, not spelling: a plan given as a path
+            # and the same plan inlined as a dict share a run key
+            from ..fl.failures import FaultPlan, FaultPlanError
+
+            try:
+                setting_payload["fault_plan"] = FaultPlan.resolve(
+                    setting_payload["fault_plan"]
+                ).to_dict()
+            except FaultPlanError as exc:
+                raise SweepSpecError(str(exc)) from None
         return {
             "algorithm": self.algorithm,
-            "setting": {k: getattr(setting, k) for k in _KEY_SETTING_FIELDS},
+            "setting": setting_payload,
             "rounds": self.rounds,
             "eval_every": self.eval_every,
             "overrides": dict(sorted(self.overrides.items())),

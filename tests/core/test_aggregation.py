@@ -155,3 +155,95 @@ class TestEntropyWeighted:
         b = np.zeros((3, 4))
         out = entropy_weighted_aggregate([a, b])
         assert np.isfinite(out).all()
+
+
+class TestStalenessWeights:
+    def test_geometric_decay(self):
+        from repro.core import staleness_weights
+
+        np.testing.assert_array_equal(
+            staleness_weights([0, 1, 2, 3], alpha=0.5),
+            [1.0, 0.5, 0.25, 0.125],
+        )
+
+    def test_alpha_one_ignores_staleness(self):
+        from repro.core import staleness_weights
+
+        np.testing.assert_array_equal(
+            staleness_weights([0, 5, 100], alpha=1.0), [1.0, 1.0, 1.0]
+        )
+
+    def test_validation(self):
+        from repro.core import staleness_weights
+
+        with pytest.raises(ValueError, match="alpha"):
+            staleness_weights([0], alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            staleness_weights([0], alpha=1.5)
+        with pytest.raises(ValueError, match="staleness"):
+            staleness_weights([-1], alpha=0.5)
+
+
+class TestStalenessDiscountedAggregate:
+    @pytest.mark.parametrize("mode", ["variance", "equal", "entropy"])
+    def test_all_ones_is_bit_identical_to_undiscounted(self, mode):
+        """The degenerate-equivalence contract: weight 1.0 everywhere must
+        take the exact float path of the undiscounted rule."""
+        from repro.core import (
+            entropy_weighted_aggregate,
+            staleness_discounted_aggregate,
+        )
+
+        rng = np.random.default_rng(5)
+        logits = [rng.normal(size=(6, 4)) for _ in range(3)]
+        reference = {
+            "variance": variance_weighted_aggregate,
+            "equal": equal_average_aggregate,
+            "entropy": entropy_weighted_aggregate,
+        }[mode](logits)
+        discounted = staleness_discounted_aggregate(logits, [1.0] * 3, mode=mode)
+        np.testing.assert_array_equal(discounted, reference)  # no tolerance
+
+    def test_zero_weight_excludes_client(self):
+        from repro.core import staleness_discounted_aggregate
+
+        a = np.full((4, 3), 2.0)
+        b = np.full((4, 3), -7.0)
+        out = staleness_discounted_aggregate([a, b], [1.0, 0.0], mode="equal")
+        np.testing.assert_allclose(out, a)
+
+    def test_discount_shifts_toward_fresh_client(self):
+        from repro.core import staleness_discounted_aggregate
+
+        fresh = np.zeros((4, 3))
+        stale = np.ones((4, 3))
+        out = staleness_discounted_aggregate(
+            [fresh, stale], [1.0, 0.5], mode="equal"
+        )
+        # renormalised mixing: (1*0 + 0.5*1) / 1.5
+        np.testing.assert_allclose(out, np.full((4, 3), 1.0 / 3.0))
+
+    def test_variance_mode_stays_convex(self):
+        from repro.core import staleness_discounted_aggregate
+
+        rng = np.random.default_rng(8)
+        logits = [rng.normal(size=(6, 4)) for _ in range(3)]
+        out = staleness_discounted_aggregate(
+            logits, [1.0, 0.5, 0.25], mode="variance"
+        )
+        stacked = np.stack(logits)
+        assert (out >= stacked.min(axis=0) - 1e-9).all()
+        assert (out <= stacked.max(axis=0) + 1e-9).all()
+
+    def test_validation(self):
+        from repro.core import staleness_discounted_aggregate
+
+        logits = [np.zeros((2, 2)), np.zeros((2, 2))]
+        with pytest.raises(ValueError, match="mode"):
+            staleness_discounted_aggregate(logits, [1.0, 1.0], mode="median")
+        with pytest.raises(ValueError, match="align"):
+            staleness_discounted_aggregate(logits, [1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            staleness_discounted_aggregate(logits, [1.0, -0.5])
+        with pytest.raises(ValueError, match="positive"):
+            staleness_discounted_aggregate(logits, [0.0, 0.0])

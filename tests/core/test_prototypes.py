@@ -109,3 +109,44 @@ def test_aggregate_is_between_contributions(counts1, counts2, v1, v2):
     )
     lo, hi = min(v1, v2) - 1e-9, max(v1, v2) + 1e-9
     assert lo <= agg[0, 0] <= hi
+
+
+class TestAggregateClientWeights:
+    """Staleness discounts on prototype aggregation (async engine)."""
+
+    def test_all_ones_is_bit_identical_to_unweighted(self):
+        rng = np.random.default_rng(4)
+        protos = [
+            protos_for({0: rng.normal(size=2), 1: rng.normal(size=2)}),
+            protos_for({1: rng.normal(size=2), 2: rng.normal(size=2)}),
+        ]
+        counts = [np.array([3, 2, 0]), np.array([0, 4, 1])]
+        unweighted = aggregate_prototypes(protos, counts)
+        weighted = aggregate_prototypes(protos, counts, client_weights=[1.0, 1.0])
+        np.testing.assert_array_equal(weighted, unweighted)  # NaN rows too
+
+    def test_discount_scales_effective_counts(self):
+        p1 = protos_for({0: [0.0, 0.0]})
+        p2 = protos_for({0: [4.0, 4.0]})
+        counts = [np.array([2, 0, 0]), np.array([2, 0, 0])]
+        agg = aggregate_prototypes(
+            [p1, p2], counts, client_weights=[1.0, 0.5]
+        )
+        # effective counts 2 and 1: (2*0 + 1*4) / 3
+        np.testing.assert_allclose(agg[0], [4.0 / 3.0, 4.0 / 3.0])
+
+    def test_zero_weight_excludes_client(self):
+        p1 = protos_for({0: [1.0, 1.0]})
+        p2 = protos_for({0: [9.0, 9.0], 1: [5.0, 5.0]})
+        counts = [np.array([2, 0, 0]), np.array([2, 3, 0])]
+        agg = aggregate_prototypes([p1, p2], counts, client_weights=[1.0, 0.0])
+        np.testing.assert_allclose(agg[0], [1.0, 1.0])
+        assert np.isnan(agg[1]).all()  # class 1 lived only on the excluded client
+
+    def test_validation(self):
+        p = protos_for({0: [1.0, 1.0]})
+        c = np.array([1, 0, 0])
+        with pytest.raises(ValueError, match="align"):
+            aggregate_prototypes([p], [c], client_weights=[1.0, 1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            aggregate_prototypes([p], [c], client_weights=[-1.0])

@@ -178,3 +178,64 @@ class TestLabel:
             overrides={"delta": 0.5},
         )
         assert run.label() == "fedpkd/cifar100/dir0.1/s3/hetero/delta=0.5"
+
+
+class TestEngineRunKeys:
+    """Async-engine knobs are result-affecting; backoff timing is not."""
+
+    def test_engine_fields_change_key(self):
+        base = RunSpec("fedpkd", {"seed": 0}, rounds=1)
+        for fields in (
+            {"seed": 0, "engine": "async"},
+            {"seed": 0, "engine": "async", "max_staleness": 2},
+            {"seed": 0, "engine": "async", "staleness_alpha": 0.9},
+            {"seed": 0, "engine": "async", "buffer_size": 2},
+            {"seed": 0, "fault_plan": {"faults": [
+                {"kind": "crash", "client_id": 0, "round": 1}]}},
+        ):
+            assert RunSpec("fedpkd", fields, rounds=1).run_key() != base.run_key()
+
+    def test_explicit_sync_engine_matches_default(self):
+        implicit = RunSpec("fedpkd", {"seed": 0}, rounds=1)
+        explicit = RunSpec("fedpkd", {"seed": 0, "engine": "sync"}, rounds=1)
+        assert implicit.run_key() == explicit.run_key()
+
+    def test_retry_backoff_is_runtime_only(self):
+        # backoff changes retry *timing*, never the recorded history
+        plain = RunSpec("fedpkd", {"seed": 0}, rounds=1)
+        backoff = RunSpec(
+            "fedpkd", {"seed": 0}, {"retry_backoff_s": 1.5}, rounds=1
+        )
+        assert plain.run_key() == backoff.run_key()
+
+    def test_fault_plan_path_and_dict_share_key(self, tmp_path):
+        plan = {
+            "seed": 4,
+            "faults": [{"kind": "straggler", "client_id": 1, "factor": 10.0}],
+        }
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan))
+        by_dict = RunSpec("fedpkd", {"seed": 0, "fault_plan": plan}, rounds=1)
+        by_path = RunSpec(
+            "fedpkd", {"seed": 0, "fault_plan": str(path)}, rounds=1
+        )
+        assert by_dict.run_key() == by_path.run_key()
+
+    def test_malformed_fault_plan_is_a_spec_error(self):
+        bad = RunSpec(
+            "fedpkd",
+            {"seed": 0, "fault_plan": {"faults": [
+                {"kind": "meteor", "client_id": 0}]}},
+            rounds=1,
+        )
+        with pytest.raises(SweepSpecError, match="fault kind"):
+            bad.run_key()
+
+    def test_engine_axis_expands(self):
+        spec = make_spec(
+            base={"scale": "tiny", "algorithm": "fedpkd", "rounds": 1},
+            axes={"engine": ["sync", "async"]},
+        )
+        runs = spec.expand()
+        assert [r.setting_fields["engine"] for r in runs] == ["sync", "async"]
+        assert len({r.run_key() for r in runs}) == 2

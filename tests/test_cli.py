@@ -190,3 +190,44 @@ class TestObservabilityFlags:
         assert code == 0
         assert logging.getLogger("repro").level == logging.DEBUG
         logging.getLogger("repro").setLevel(logging.WARNING)
+
+
+class TestAsyncEngineFlags:
+    def test_async_run_with_fault_plan(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "seed": 1,
+            "faults": [
+                {"kind": "straggler", "client_id": 1, "factor": 3.0},
+                {"kind": "crash", "client_id": 0, "round": 0},
+            ],
+        }))
+        out = tmp_path / "history.json"
+        code = main([
+            "run", "--algorithm", "fedpkd", "--scale", "tiny",
+            "--rounds", "1",
+            "--engine", "async", "--max-staleness", "2",
+            "--staleness-alpha", "0.9", "--buffer-size", "2",
+            "--fault-plan", str(plan),
+            "--out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["records"]) == 1
+        assert math.isfinite(payload["records"][0]["server_acc"])
+        assert "S_acc=" in capsys.readouterr().out
+
+    def test_async_engine_rejects_unsupported_algorithm(self):
+        # fedavg never opted into the async protocol
+        with pytest.raises(ValueError, match="async"):
+            main([
+                "run", "--algorithm", "fedavg", "--scale", "tiny",
+                "--rounds", "1", "--engine", "async",
+            ])
+
+    def test_retry_backoff_flag_parses(self, capsys):
+        code = main([
+            "run", "--algorithm", "fedavg", "--scale", "tiny",
+            "--rounds", "1", "--retry-backoff-s", "0.5",
+        ])
+        assert code == 0
