@@ -9,7 +9,7 @@ Measures three levels of the stack with ``time.perf_counter``:
 - ``fedpkd_round``  — one full FedPKD round at the ``tiny`` scale
   (local training, logit exchange, filtering, aggregation, distillation).
 
-plus one robustness scenario:
+plus two robustness scenarios:
 
 - ``straggler``     — one FedPKD round with one client injected to run
   10x slower than its peers, under the synchronous barrier engine vs the
@@ -18,11 +18,17 @@ plus one robustness scenario:
   and — because arrival-time compute is lazy — never even computes the
   straggler's work.  The acceptance bar is async < 0.5x the sync
   wall-clock.
+- ``cohort``        — a 100k-client FedProto federation on the lazy
+  client registry (``--scenario cohort``): 16 sampled participants per
+  round, a 32-client live cap with spill-to-disk, sampled evaluation.
+  The acceptance bar is that every round's peak traced allocation stays
+  under a fixed ceiling — O(cohort) memory, not O(N) — asserted here
+  and enforced by the ``cohort-smoke`` CI job.
 
-Writes the numbers as ``BENCH_7.json`` so successive PRs can compare the
+Writes the numbers as ``BENCH_8.json`` so successive PRs can compare the
 end-to-end trajectory, not just micro-kernels:
 
-    PYTHONPATH=src python scripts/bench_trajectory.py --out BENCH_7.json
+    PYTHONPATH=src python scripts/bench_trajectory.py --out BENCH_8.json
 
 The per-suite pytest-benchmark file (benchmarks/test_substrate_perf.py)
 stays the fine-grained regression gate; this script is the coarse
@@ -184,12 +190,101 @@ def bench_straggler_scenario():
     }
 
 
+# --------------------------------------------------------------------------
+# cohort scenario: 100k registered clients, O(cohort) memory
+# --------------------------------------------------------------------------
+
+COHORT_NUM_CLIENTS = 100_000
+COHORT_TRAIN_SAMPLES = 120_000
+COHORT_CLIENTS_PER_ROUND = 16
+COHORT_MAX_LIVE = 32
+COHORT_EVAL_CLIENTS = 64
+COHORT_ROUNDS = 3
+#: per-round peak traced allocation ceiling.  The live set is bounded at
+#: max_live carried clients + one round's touches (participants + eval
+#: sample) over a tiny model, so rounds allocate a few MB; 64 MiB is an
+#: order of magnitude of headroom while still catching any O(N)
+#: materialisation regression (100k live clients would blow far past it).
+COHORT_PEAK_CEILING_BYTES = 64 * 1024 * 1024
+
+
+def bench_cohort_scenario():
+    """100k-client smoke run on the lazy registry with bounded memory."""
+    import tracemalloc
+
+    from repro.data import SyntheticImageTask
+    from repro.fl import FederationConfig, build_federation
+
+    task = SyntheticImageTask(
+        num_classes=4,
+        image_shape=(1, 4, 4),
+        latent_dim=4,
+        class_separation=2.0,
+        seed=0,
+        name="cohort-smoke",
+    )
+    bundle = task.make_bundle(
+        n_train=COHORT_TRAIN_SAMPLES, n_test=400, n_public=100, seed=1
+    )
+    config = FederationConfig(
+        num_clients=COHORT_NUM_CLIENTS,
+        partition=("iid", {}),
+        client_models="mlp_small",
+        server_model=None,
+        feature_dim=8,
+        seed=0,
+        clients_per_round=COHORT_CLIENTS_PER_ROUND,
+        max_live_clients=COHORT_MAX_LIVE,
+        eval_clients=COHORT_EVAL_CLIENTS,
+    )
+    build_start = time.perf_counter()
+    federation = build_federation(bundle, config)
+    try:
+        algo = build_algorithm("fedproto", federation, seed=0, epoch_scale=0.1)
+        build_s = time.perf_counter() - build_start
+
+        # trace only round-time allocations: the bounded-registry guarantee
+        # is about what a *round* touches, not the one-off bundle build
+        per_round_peak = []
+        per_round_s = []
+        tracemalloc.start()
+        try:
+            for _ in range(COHORT_ROUNDS):
+                tracemalloc.reset_peak()
+                start = time.perf_counter()
+                algo.run(1, eval_every=1)
+                per_round_s.append(round(time.perf_counter() - start, 4))
+                per_round_peak.append(tracemalloc.get_traced_memory()[1])
+        finally:
+            tracemalloc.stop()
+        stats = federation.registry.stats()
+    finally:
+        federation.close()
+
+    peak = max(per_round_peak)
+    return {
+        "num_clients": COHORT_NUM_CLIENTS,
+        "train_samples": COHORT_TRAIN_SAMPLES,
+        "clients_per_round": COHORT_CLIENTS_PER_ROUND,
+        "max_live_clients": COHORT_MAX_LIVE,
+        "eval_clients": COHORT_EVAL_CLIENTS,
+        "rounds": COHORT_ROUNDS,
+        "build_s": round(build_s, 4),
+        "round_s": per_round_s,
+        "per_round_peak_bytes": per_round_peak,
+        "peak_bytes": peak,
+        "peak_ceiling_bytes": COHORT_PEAK_CEILING_BYTES,
+        "meets_ceiling": peak < COHORT_PEAK_CEILING_BYTES,
+        "registry": stats,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_7.json", metavar="PATH")
+    parser.add_argument("--out", default="BENCH_8.json", metavar="PATH")
     parser.add_argument(
         "--scenario",
-        choices=("all", "trajectory", "straggler"),
+        choices=("all", "trajectory", "straggler", "cohort"),
         default="all",
         help="which benchmarks to run (default: all)",
     )
@@ -210,22 +305,40 @@ def main(argv=None):
                 "fedpkd_round": bench_fedpkd_round(),
             }
         )
+    scenarios = {}
     if args.scenario in ("all", "straggler"):
-        results["scenarios"] = {"straggler": bench_straggler_scenario()}
+        scenarios["straggler"] = bench_straggler_scenario()
+    if args.scenario in ("all", "cohort"):
+        scenarios["cohort"] = bench_cohort_scenario()
+    if scenarios:
+        results["scenarios"] = scenarios
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(results, f, indent=2)
         f.write("\n")
     for name, stats in results["ops"].items():
         print(f"{name:13} {stats['ops_per_sec']:10.3f} ops/s ({stats['reps']} reps)")
-    for name, stats in results.get("scenarios", {}).items():
+    if "straggler" in scenarios:
+        stats = scenarios["straggler"]
         print(
-            f"{name:13} sync={stats['sync_round_s']:.3f}s "
+            f"{'straggler':13} sync={stats['sync_round_s']:.3f}s "
             f"async={stats['async_round_s']:.3f}s "
             f"ratio={stats['async_vs_sync_ratio']:.3f} "
             f"(bar: <0.5 {'met' if stats['meets_half_sync_bar'] else 'MISSED'})"
         )
+    failed = False
+    if "cohort" in scenarios:
+        stats = scenarios["cohort"]
+        print(
+            f"{'cohort':13} {stats['num_clients']} clients, "
+            f"peak={stats['peak_bytes'] / 1e6:.1f}MB per round "
+            f"(ceiling {stats['peak_ceiling_bytes'] / 1e6:.1f}MB "
+            f"{'met' if stats['meets_ceiling'] else 'EXCEEDED'}), "
+            f"rounds={stats['round_s']}"
+        )
+        # the memory ceiling is an acceptance bar, not a report: fail loudly
+        failed = failed or not stats["meets_ceiling"]
     print(f"written to {args.out}")
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -79,6 +79,31 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--rounds", type=int, default=None)
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument(
+        "--clients-per-round",
+        type=int,
+        default=None,
+        metavar="K",
+        help="sample a K-client cohort per round instead of full "
+        "participation (cross-device shape; docs/SCALE.md)",
+    )
+    run_p.add_argument(
+        "--max-live-clients",
+        type=int,
+        default=None,
+        metavar="M",
+        help="carry at most M materialised clients across rounds; the rest "
+        "are lazy registry entries with mutated state spilled to disk "
+        "(default: no eviction — the eager-equivalent mode)",
+    )
+    run_p.add_argument(
+        "--eval-clients",
+        type=int,
+        default=None,
+        metavar="E",
+        help="evaluate C_acc on a seeded per-round sample of E clients "
+        "instead of the whole population",
+    )
+    run_p.add_argument(
         "--executor",
         choices=("serial", "parallel"),
         default="serial",
@@ -256,6 +281,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         heterogeneous=args.heterogeneous,
         scale=args.scale,
         seed=args.seed,
+        clients_per_round=args.clients_per_round,
+        max_live_clients=args.max_live_clients,
+        eval_clients=args.eval_clients,
         executor=args.executor,
         max_workers=args.max_workers,
         task_timeout_s=args.task_timeout_s,

@@ -66,9 +66,12 @@ def aggregate_prototypes(
         if any(w < 0 for w in weights):
             raise ValueError("client_weights must be non-negative")
     num_classes, feature_dim = client_prototypes[0].shape
-    global_protos = np.full((num_classes, feature_dim), np.nan)
+    # the prototype table is wire payload: float32 throughout (WIRE_DTYPE)
+    global_protos = np.full((num_classes, feature_dim), np.nan, dtype=np.float32)
     for cls in range(num_classes):
-        weighted = np.zeros(feature_dim)
+        # accumulate in float64 for numerical headroom; the table row
+        # downcasts on assignment
+        weighted = np.zeros(feature_dim, dtype=np.float64)
         total_count = 0.0
         contributors = 0
         for protos, counts, w in zip(

@@ -95,6 +95,12 @@ class ExperimentSetting:
     scale: str = "tiny"
     seed: int = 0
     scale_overrides: dict = field(default_factory=dict)
+    # cohort simulation at scale (see repro.fl.registry / docs/SCALE.md):
+    # sample a sub-cohort per round, cap carried-over materialised clients,
+    # and evaluate C_acc on a seeded per-round sample
+    clients_per_round: Optional[int] = None
+    max_live_clients: Optional[int] = None
+    eval_clients: Optional[int] = None
     # client-execution runtime (see repro.runtime)
     executor: str = "serial"
     max_workers: Optional[int] = None
@@ -210,6 +216,9 @@ def federation_for(
         client_models=roles["client_models"],
         server_model=server_model,
         seed=setting.seed,
+        clients_per_round=setting.clients_per_round,
+        max_live_clients=setting.max_live_clients,
+        eval_clients=setting.eval_clients,
         executor=setting.executor,
         max_workers=setting.max_workers,
         task_timeout_s=setting.task_timeout_s,

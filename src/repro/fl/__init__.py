@@ -18,7 +18,8 @@ from .failures import (
     ParticipationSampler,
     RuntimeDropout,
 )
-from .metrics import RoundRecord, RunHistory
+from .metrics import RoundRecord, RunHistory, nan_mean
+from .registry import ClientModelStore, ClientRegistry
 from .server import FLServer
 from .simulation import Federation, FederatedAlgorithm, build_federation
 from .training import (
@@ -43,6 +44,9 @@ __all__ = [
     "load_history",
     "FLClient",
     "FLServer",
+    "ClientModelStore",
+    "ClientRegistry",
+    "nan_mean",
     "FederationConfig",
     "TrainingConfig",
     "ParticipationSampler",

@@ -213,6 +213,14 @@ class AsyncRoundEngine:
         for cid in algo.federation.participation.sample():
             if cid in self._in_flight:
                 continue  # still working against an older snapshot
+            if algo.federation.client_train_size(cid) == 0:
+                # empty derived shard: never dispatched, logged like the
+                # sync engine's participation guard (O(1) under a
+                # registry — no client is materialised to find out)
+                algo.dropout_log.record(
+                    algo.round_index + 1, cid, "async_dispatch", "empty_shard"
+                )
+                continue
             if self.plan is not None and not self.plan.available(cid, version):
                 # churn: the client has left the cohort at this version
                 algo.dropout_log.record(
@@ -448,6 +456,10 @@ class AsyncRoundEngine:
                     final_round or algo.round_index % checkpoint_every == 0
                 ):
                     save_checkpoint(algo, checkpoint_path, history=history)
+                # round boundary: evict the registry's live set back to
+                # its budget (in-flight dispatches hold no client refs —
+                # arrival-time compute re-materialises on demand)
+                algo.federation.settle_clients()
         algo.obs.export_metrics()
         return history
 

@@ -62,7 +62,12 @@ __all__ = [
 #: Bump whenever the on-disk layout changes.  Version 1 was the legacy
 #: weights-only format (no RNG/channel/history state); it is refused on
 #: load because resuming from it would violate the exact-resume contract.
-CHECKPOINT_FORMAT_VERSION = 2
+#: Version 2 added full RNG/channel/history/engine state.  Version 3 adds
+#: the bounded-registry layout: federations running a bounded
+#: :class:`~repro.fl.registry.ClientRegistry` persist only the *mutated*
+#: clients (plus a cycle-compressed fingerprint), keeping checkpoints
+#: O(clients touched), not O(population); v2 files still load.
+CHECKPOINT_FORMAT_VERSION = 3
 
 _META_VERSION = "__meta__format_version"
 _META_JSON = "__meta__json"
@@ -120,6 +125,20 @@ def _model_fingerprint(model) -> Dict[str, list]:
     }
 
 
+def _bounded_registry(algo: FederatedAlgorithm):
+    """The federation's ClientRegistry when it is bounded, else ``None``.
+
+    Unbounded registries (``max_live_clients=None``, the degenerate mode)
+    keep the historical full-population checkpoint layout — every client
+    is materialised anyway, and the small-cohort format/validation
+    behaviour stays byte-for-byte what it always was.
+    """
+    registry = getattr(algo.federation, "registry", None)
+    if registry is not None and registry.bounded:
+        return registry
+    return None
+
+
 def _fingerprint(algo: FederatedAlgorithm) -> dict:
     return {
         "algorithm": algo.name,
@@ -136,6 +155,85 @@ def _fingerprint(algo: FederatedAlgorithm) -> dict:
     }
 
 
+def _registry_fingerprint(algo: FederatedAlgorithm, registry) -> dict:
+    """Cycle-compressed fingerprint: O(distinct models), not O(population).
+
+    ``model_cycle`` + ``num_clients`` determine every client's model name;
+    parameter shapes are recorded once per distinct name (shape metadata
+    is seed-independent), so validation never materialises a client.
+    """
+    cycle = registry.model_cycle
+    return {
+        "algorithm": algo.name,
+        "registry": {
+            "num_clients": len(registry),
+            "model_cycle": cycle,
+            "params_by_model": {
+                name: registry.probe_model_fingerprint(name)
+                for name in sorted(set(cycle))
+            },
+        },
+        "server": (
+            _model_fingerprint(algo.server.model) if algo.server.has_model else None
+        ),
+    }
+
+
+def _validate_server_fingerprint(saved: dict, algo: FederatedAlgorithm) -> None:
+    if saved["server"] is not None and not algo.server.has_model:
+        raise CheckpointError(
+            "checkpoint contains a server model; federation has none"
+        )
+    if saved["server"] is None and algo.server.has_model:
+        raise CheckpointError(
+            "federation has a server model; checkpoint contains none"
+        )
+    if saved["server"] is not None:
+        live_server = _model_fingerprint(algo.server.model)
+        for key, shape in saved["server"].items():
+            if key not in live_server or list(shape) != list(live_server[key]):
+                raise CheckpointError(
+                    f"server parameter '{key}': checkpoint shape "
+                    f"{tuple(shape)} vs federation "
+                    f"{tuple(live_server.get(key, ()))}"
+                )
+
+
+def _validate_registry_fingerprint(
+    saved: dict, algo: FederatedAlgorithm, path: str
+) -> None:
+    registry = getattr(algo.federation, "registry", None)
+    if registry is None:
+        raise CheckpointError(
+            f"checkpoint '{path}' was written by a bounded client registry "
+            "(compact layout); load it into a federation built with "
+            "build_federation, not a hand-assembled client list"
+        )
+    reg = saved["registry"]
+    if int(reg["num_clients"]) != len(registry):
+        raise CheckpointError(
+            f"checkpoint has {reg['num_clients']} clients, federation has "
+            f"{len(registry)}"
+        )
+    if [str(n) for n in reg["model_cycle"]] != registry.model_cycle:
+        raise CheckpointError(
+            f"checkpoint model cycle {reg['model_cycle']} does not match "
+            f"the federation's {registry.model_cycle}"
+        )
+    for name, saved_params in reg["params_by_model"].items():
+        live_params = registry.probe_model_fingerprint(name)
+        for key in saved_params:
+            if key not in live_params or list(saved_params[key]) != list(
+                live_params[key]
+            ):
+                raise CheckpointError(
+                    f"model '{name}' parameter '{key}': checkpoint shape "
+                    f"{tuple(saved_params[key])} vs federation shape "
+                    f"{tuple(live_params.get(key, ()))}"
+                )
+    _validate_server_fingerprint(saved, algo)
+
+
 def _validate_fingerprint(meta: dict, algo: FederatedAlgorithm, path: str) -> None:
     saved = meta["fingerprint"]
     if saved["algorithm"] != algo.name:
@@ -143,6 +241,9 @@ def _validate_fingerprint(meta: dict, algo: FederatedAlgorithm, path: str) -> No
             f"checkpoint '{path}' was written by algorithm "
             f"'{saved['algorithm']}', cannot resume '{algo.name}'"
         )
+    if "registry" in saved:
+        _validate_registry_fingerprint(saved, algo, path)
+        return
     saved_clients = saved["clients"]
     if len(saved_clients) != len(algo.clients):
         raise CheckpointError(
@@ -182,23 +283,7 @@ def _validate_fingerprint(meta: dict, algo: FederatedAlgorithm, path: str) -> No
                     f"client {client.client_id}: federation parameter '{key}' "
                     f"missing from the checkpoint{hint}"
                 )
-    if saved["server"] is not None and not algo.server.has_model:
-        raise CheckpointError(
-            "checkpoint contains a server model; federation has none"
-        )
-    if saved["server"] is None and algo.server.has_model:
-        raise CheckpointError(
-            "federation has a server model; checkpoint contains none"
-        )
-    if saved["server"] is not None:
-        live_server = _model_fingerprint(algo.server.model)
-        for key, shape in saved["server"].items():
-            if key not in live_server or list(shape) != list(live_server[key]):
-                raise CheckpointError(
-                    f"server parameter '{key}': checkpoint shape "
-                    f"{tuple(shape)} vs federation "
-                    f"{tuple(live_server.get(key, ()))}"
-                )
+    _validate_server_fingerprint(saved, algo)
 
 
 def _publish_io(
@@ -239,12 +324,35 @@ def save_checkpoint(
     goes to a temporary sibling file first and is moved into place with
     ``os.replace``; a crash mid-write leaves any previous checkpoint at
     ``path`` untouched.
+
+    Under a *bounded* client registry (``max_live_clients``), only the
+    clients whose state diverged from their seed derivation are written
+    (read from the live set or the spill store — no re-materialisation),
+    so a 100k-client cohort run checkpoints in O(clients touched).
+    Exact-resume still holds: untouched clients are pure functions of
+    their seeds and re-derive identically.
     """
     arrays: Dict[str, np.ndarray] = {}
-    for client in algo.clients:
-        prefix = _CLIENT_PREFIX.format(cid=client.client_id)
-        for key, value in client.model.state_dict().items():
-            arrays[prefix + key] = np.asarray(value)
+    registry = _bounded_registry(algo)
+    client_rng: Dict[str, dict] = {}
+    registry_meta = None
+    if registry is not None:
+        dirty = registry.dirty_ids()
+        for cid in dirty:
+            state, rng_state = registry.client_state(cid)
+            prefix = _CLIENT_PREFIX.format(cid=cid)
+            for key, value in state.items():
+                arrays[prefix + key] = np.asarray(value)
+            client_rng[str(cid)] = rng_state
+        registry_meta = {"dirty": dirty}
+        fingerprint = _registry_fingerprint(algo, registry)
+    else:
+        for client in algo.clients:
+            prefix = _CLIENT_PREFIX.format(cid=client.client_id)
+            for key, value in client.model.state_dict().items():
+                arrays[prefix + key] = np.asarray(value)
+            client_rng[str(client.client_id)] = client.rng_state()
+        fingerprint = _fingerprint(algo)
     if algo.server.has_model:
         for key, value in algo.server.model.state_dict().items():
             arrays[_SERVER_PREFIX + key] = np.asarray(value)
@@ -264,15 +372,13 @@ def save_checkpoint(
         "format_version": CHECKPOINT_FORMAT_VERSION,
         "round_index": int(algo.round_index),
         "num_clients": len(algo.clients),
-        "fingerprint": _fingerprint(algo),
+        "fingerprint": fingerprint,
+        "registry": registry_meta,
         "rng": {
             "algorithm": _rng_state(algo.rng),
             "server": _rng_state(algo.server.rng),
             "participation": algo.federation.participation.state_dict(),
-            "clients": {
-                str(client.client_id): client.rng_state()
-                for client in algo.clients
-            },
+            "clients": client_rng,
         },
         "channel": algo.channel.state_dict(),
         "dropout_log": algo.dropout_log.state_dict(),
@@ -364,14 +470,35 @@ def load_checkpoint(algo: FederatedAlgorithm, path: str) -> int:
     arrays, meta = _read_archive(path)
     _validate_fingerprint(meta, algo, path)
 
-    for client in algo.clients:
-        prefix = _CLIENT_PREFIX.format(cid=client.client_id)
-        state = {
-            key[len(prefix):]: value
-            for key, value in arrays.items()
-            if key.startswith(prefix)
-        }
-        client.model.load_state_dict(state)
+    rng_meta = meta["rng"]
+    registry_meta = meta.get("registry")
+    if registry_meta is not None:
+        # compact bounded-registry layout: only mutated clients were saved.
+        # Reset the registry (derived clients and spilled shards from any
+        # prior activity are stale) and adopt the saved states — applied
+        # in place when live, written straight to the spill store when
+        # not, so nothing is materialised that was not already.
+        registry = algo.federation.registry
+        registry.reset()
+        for cid in registry_meta["dirty"]:
+            prefix = _CLIENT_PREFIX.format(cid=cid)
+            state = {
+                key[len(prefix):]: value
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            registry.restore_client_state(
+                int(cid), state, rng_meta["clients"][str(cid)]
+            )
+    else:
+        for client in algo.clients:
+            prefix = _CLIENT_PREFIX.format(cid=client.client_id)
+            state = {
+                key[len(prefix):]: value
+                for key, value in arrays.items()
+                if key.startswith(prefix)
+            }
+            client.model.load_state_dict(state)
 
     if algo.server.has_model:
         server_state = {
@@ -388,12 +515,12 @@ def load_checkpoint(algo: FederatedAlgorithm, path: str) -> int:
     }
     load_algorithm_state(algo, algo_state)
 
-    rng_meta = meta["rng"]
     _set_rng_state(algo.rng, rng_meta["algorithm"])
     _set_rng_state(algo.server.rng, rng_meta["server"])
     algo.federation.participation.load_state_dict(rng_meta["participation"])
-    for client in algo.clients:
-        client.set_rng_state(rng_meta["clients"][str(client.client_id)])
+    if registry_meta is None:
+        for client in algo.clients:
+            client.set_rng_state(rng_meta["clients"][str(client.client_id)])
 
     algo.channel.load_state_dict(meta["channel"])
     algo.dropout_log.load_state_dict(meta["dropout_log"])

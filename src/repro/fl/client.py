@@ -133,7 +133,12 @@ class FLClient:
         classes absent from the local data.
         """
         feats = self.model.extract_features(self.x_train)
-        protos = np.full((self.num_classes, self.model.feature_dim), np.nan)
+        # float32: prototypes go on the wire, and the wire is float32
+        # (repro.nn.serialize.WIRE_DTYPE) — a float64 buffer doubles the
+        # per-class memory for precision the channel discards anyway
+        protos = np.full(
+            (self.num_classes, self.model.feature_dim), np.nan, dtype=np.float32
+        )
         for cls in self.present_classes():
             protos[cls] = feats[self.y_train == cls].mean(axis=0)
         return protos

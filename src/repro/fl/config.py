@@ -57,6 +57,25 @@ class FederationConfig:
     dropout_prob:
         Per-round probability that a client is unavailable (failure
         injection; 0 reproduces the paper's full-participation setting).
+    clients_per_round:
+        Sample this many clients as the round's cohort before dropout is
+        applied (cross-device participation at scale; see docs/SCALE.md).
+        ``None`` (default) keeps the paper's full-participation setting.
+    max_live_clients:
+        Carry at most this many materialised clients across rounds; the
+        rest live as lazy registry entries, with mutated state spilled to
+        an npz shard store (:mod:`repro.fl.registry`).  ``None`` (default)
+        never evicts — bit-identical to the historical eager path.
+        Incompatible with ``executor="parallel"``, whose worker pool
+        materialises every client at startup.
+    eval_clients:
+        Evaluate the personalised ``C_acc`` metric on a seeded sample of
+        this many clients per evaluation instead of the whole population
+        (keeps ``_record_if_due`` O(sample) at large N).  ``None``
+        evaluates everyone.
+    spill_dir:
+        Directory for the registry's spill store (``None`` = a private
+        temporary directory removed on ``Federation.close()``).
     executor:
         Client-execution runtime: ``"serial"`` (inline, the default) or
         ``"parallel"`` (process pool; see :mod:`repro.runtime`).  For a
@@ -122,6 +141,10 @@ class FederationConfig:
     feature_dim: int = 32
     local_test_fraction: float = 0.2
     dropout_prob: float = 0.0
+    clients_per_round: Optional[int] = None
+    max_live_clients: Optional[int] = None
+    eval_clients: Optional[int] = None
+    spill_dir: Optional[str] = None
     seed: int = 0
     executor: str = "serial"
     max_workers: Optional[int] = None
@@ -146,8 +169,29 @@ class FederationConfig:
             raise ValueError(f"unknown partition kind '{kind}'")
         if not 0.0 <= self.dropout_prob < 1.0:
             raise ValueError("dropout_prob must be in [0, 1)")
+        if self.clients_per_round is not None and not (
+            1 <= self.clients_per_round <= self.num_clients
+        ):
+            raise ValueError(
+                f"clients_per_round must be in [1, num_clients], got "
+                f"{self.clients_per_round}"
+            )
+        if self.max_live_clients is not None and self.max_live_clients < 1:
+            raise ValueError(
+                f"max_live_clients must be >= 1, got {self.max_live_clients}"
+            )
+        if self.eval_clients is not None and self.eval_clients < 1:
+            raise ValueError(
+                f"eval_clients must be >= 1, got {self.eval_clients}"
+            )
         if self.executor not in ("serial", "parallel"):
             raise ValueError(f"unknown executor '{self.executor}'")
+        if self.max_live_clients is not None and self.executor == "parallel":
+            raise ValueError(
+                "max_live_clients is incompatible with executor='parallel': "
+                "the worker pool materialises every client at startup, "
+                "defeating the bounded registry"
+            )
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
         if self.task_timeout_s is not None and self.task_timeout_s <= 0:

@@ -15,7 +15,20 @@ import math
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["RoundRecord", "RunHistory"]
+__all__ = ["RoundRecord", "RunHistory", "nan_mean"]
+
+
+def nan_mean(values: List[float]) -> float:
+    """Mean over the non-NaN entries; NaN when none remain.
+
+    Clients whose local test set is empty (singleton shards) report NaN
+    accuracy — they carry no signal and must neither poison the mean nor,
+    as a 0.0 placeholder once did, silently drag it down at scale.
+    """
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return float("nan")
+    return sum(finite) / len(finite)
 
 
 @dataclass
@@ -32,9 +45,7 @@ class RoundRecord:
 
     @property
     def mean_client_acc(self) -> float:
-        if not self.client_accs:
-            return float("nan")
-        return sum(self.client_accs) / len(self.client_accs)
+        return nan_mean(self.client_accs)
 
     @property
     def comm_total_mb(self) -> float:

@@ -1,0 +1,400 @@
+"""Lazy client registry with a bounded live set and a spill-to-disk store.
+
+The eager path materialised every :class:`~repro.fl.client.FLClient` (data
+slice + model) up front, capping federations at hundreds of clients.  At
+production scale only a small sampled sub-cohort touches the server each
+round, so a federation of N registered clients needs O(cohort) memory, not
+O(N).  This module provides that shape:
+
+- :class:`ClientRegistry` — a :class:`collections.abc.Sequence` of clients
+  registered as ``(client_id, partition indices, seed, model name)``
+  entries.  A concrete ``FLClient`` is *derived* on first touch: the data
+  slice is re-cut deterministically from the bundle (same per-client seeds
+  as the eager path, so a derived client is bit-identical to an eagerly
+  built one), and the model is either built fresh from its seed or
+  hydrated from the spill store.
+- :class:`ClientModelStore` — one lossless npz shard per *mutated* client
+  (model ``state_dict`` via :func:`repro.nn.serialize.serialize_state`
+  with ``dtype=None`` plus the client RNG stream as a JSON blob), written
+  when a live client is evicted.
+
+Mutation tracking decides what must survive eviction: ``registry[cid]``
+marks the client *dirty* (algorithms train / load weights through it),
+while :meth:`ClientRegistry.peek` materialises without marking (the
+sampled-evaluation read path).  A clean evicted client is simply dropped —
+it is a pure function of its seeds and is rebuilt identically on the next
+touch; a dirty one is spilled first.
+
+Eviction happens only at :meth:`ClientRegistry.settle` — the round
+boundary — never mid-access, so client references handed to an algorithm
+stay valid for the duration of a round.  The peak live set is therefore
+``max_live`` carried clients plus whatever one round touches
+(participants + evaluation sample), which is the bounded guarantee the
+cohort benchmark asserts.  See docs/SCALE.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from collections import OrderedDict
+from collections.abc import Sequence
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..data.datasets import FederatedDataBundle
+from ..data.partition import split_local_train_test
+from ..nn.models import build_model
+from ..nn.serialize import deserialize_state, serialize_state
+from .client import FLClient
+
+__all__ = ["ClientModelStore", "ClientRegistry"]
+
+_RNG_KEY = "__rng__json"
+
+
+class ClientModelStore:
+    """Spill-to-disk store: one lossless npz shard per client id.
+
+    A shard holds the client model's ``state_dict`` (native dtypes — the
+    same lossless mode the parallel runtime ships state between processes
+    with) and the client's RNG stream state.  ``root=None`` creates a
+    private temporary directory lazily on first write and removes it on
+    :meth:`close`; an explicit ``root`` is owned by the caller and left in
+    place.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self._root = root
+        self._owned = root is None
+        self._created = False
+
+    @property
+    def root(self) -> Optional[str]:
+        return self._root
+
+    def _ensure_root(self) -> str:
+        if self._root is None:
+            self._root = tempfile.mkdtemp(prefix="repro-client-store-")
+        elif not self._created:
+            os.makedirs(self._root, exist_ok=True)
+        self._created = True
+        return self._root
+
+    def _shard_path(self, client_id: int) -> str:
+        return os.path.join(self._ensure_root(), f"client{client_id:08d}.npz")
+
+    def save(
+        self, client_id: int, model_state: Dict[str, np.ndarray], rng_state: dict
+    ) -> None:
+        """Atomically write one client's shard (tmp + ``os.replace``)."""
+        blob = serialize_state(
+            {str(k): np.asarray(v) for k, v in model_state.items()}, dtype=None
+        )
+        rng_blob = json.dumps(rng_state, default=_json_default).encode("utf-8")
+        path = self._shard_path(client_id)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as f:
+                f.write(len(rng_blob).to_bytes(8, "little"))
+                f.write(rng_blob)
+                f.write(blob)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+
+    def load(self, client_id: int) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Read one client's shard back: ``(model_state, rng_state)``."""
+        path = self._shard_path(client_id)
+        with open(path, "rb") as f:
+            rng_len = int.from_bytes(f.read(8), "little")
+            rng_state = json.loads(f.read(rng_len).decode("utf-8"))
+            state = deserialize_state(f.read(), dtype=None)
+        return state, rng_state
+
+    def has(self, client_id: int) -> bool:
+        if not self._created or self._root is None:
+            return False
+        return os.path.exists(self._shard_path(client_id))
+
+    def clear(self) -> None:
+        """Drop every shard (checkpoint restore resets the store)."""
+        if not self._created or self._root is None:
+            return
+        for name in os.listdir(self._root):
+            if name.startswith("client") and name.endswith(".npz"):
+                os.remove(os.path.join(self._root, name))
+
+    def close(self) -> None:
+        """Remove the store directory if this store created it."""
+        if self._owned and self._created and self._root is not None:
+            shutil.rmtree(self._root, ignore_errors=True)
+            self._created = False
+            self._root = None
+
+
+def _json_default(value):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"unserialisable RNG state of type {type(value)!r}")
+
+
+class ClientRegistry(Sequence):
+    """Sequence of lazily derived clients over one data bundle.
+
+    Parameters
+    ----------
+    bundle:
+        The federation's data bundle; every client's slice is cut from
+        ``bundle.train``.
+    partitions:
+        Per-client index arrays (the partitioner's output).
+    model_cycle:
+        Model registry names cycled across clients
+        (``model_name(cid) == model_cycle[cid % len(model_cycle)]``) —
+        the compact form of ``FederationConfig.client_model_names()``.
+    feature_dim / test_fraction / base_seed:
+        Exactly the knobs the eager builder used; a derived client is
+        bit-identical to one built eagerly from the same config.
+    max_live:
+        Carry at most this many materialised clients across round
+        boundaries (LRU eviction at :meth:`settle`).  ``None`` (default)
+        never evicts — the degenerate mode that is bit-identical to the
+        historical eager path.
+    spill_dir:
+        Directory for the spill store (``None`` = private tempdir).
+    """
+
+    def __init__(
+        self,
+        bundle: FederatedDataBundle,
+        partitions: List[np.ndarray],
+        model_cycle: List[str],
+        feature_dim: int,
+        test_fraction: float,
+        base_seed: int,
+        max_live: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+    ) -> None:
+        if not model_cycle:
+            raise ValueError("model_cycle must name at least one model")
+        if max_live is not None and max_live < 1:
+            raise ValueError(f"max_live must be >= 1, got {max_live}")
+        self._bundle = bundle
+        self._parts = [np.asarray(p, dtype=np.int64) for p in partitions]
+        self._cycle = [str(name) for name in model_cycle]
+        self._feature_dim = int(feature_dim)
+        self._test_fraction = float(test_fraction)
+        self._base_seed = int(base_seed)
+        self.max_live = max_live
+        self.store = ClientModelStore(spill_dir)
+        self._live: "OrderedDict[int, FLClient]" = OrderedDict()
+        self._dirty: set = set()
+        # lifetime counters surfaced by stats() and the cohort benchmark
+        self._materialisations = 0
+        self._hydrations = 0
+        self._evictions = 0
+        self._spills = 0
+
+    # ------------------------------------------------------------------
+    # cheap facts (no materialisation)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    @property
+    def bounded(self) -> bool:
+        """Whether eviction is on (``max_live`` set)."""
+        return self.max_live is not None
+
+    @property
+    def model_cycle(self) -> List[str]:
+        return list(self._cycle)
+
+    def model_name(self, client_id: int) -> str:
+        return self._cycle[client_id % len(self._cycle)]
+
+    def shard_size(self, client_id: int) -> int:
+        """Total samples in the client's partition (train + local test)."""
+        return len(self._parts[client_id])
+
+    def train_size(self, client_id: int) -> int:
+        """Local-train sample count, by the same arithmetic as
+        :func:`~repro.data.partition.split_local_train_test` — O(1), no
+        materialisation."""
+        n = len(self._parts[client_id])
+        if n <= 1:
+            return n
+        n_test = min(max(1, int(round(n * self._test_fraction))), n - 1)
+        return n - n_test
+
+    def probe_model_fingerprint(self, model_name: str) -> Dict[str, list]:
+        """Parameter shapes of ``model_name`` under this registry's bundle
+        (shape metadata is seed-independent; used by checkpoint
+        validation without touching any client)."""
+        model = build_model(
+            model_name,
+            self._bundle.num_classes,
+            self._bundle.image_shape,
+            feature_dim=self._feature_dim,
+            rng=0,
+        )
+        return {
+            key: list(np.asarray(value).shape)
+            for key, value in model.state_dict().items()
+        }
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def _derive(self, client_id: int) -> FLClient:
+        """Build the client from its registry entry (the eager recipe)."""
+        seed = self._base_seed
+        bundle = self._bundle
+        train_idx, test_idx = split_local_train_test(
+            self._parts[client_id],
+            test_fraction=self._test_fraction,
+            seed=seed + 1000 + client_id,
+        )
+        name = self.model_name(client_id)
+        model = build_model(
+            name,
+            bundle.num_classes,
+            bundle.image_shape,
+            feature_dim=self._feature_dim,
+            rng=seed + 2000 + client_id,
+        )
+        client = FLClient(
+            client_id=client_id,
+            model=model,
+            x_train=bundle.train.x[train_idx],
+            y_train=bundle.train.y[train_idx],
+            x_test=bundle.train.x[test_idx],
+            y_test=bundle.train.y[test_idx],
+            num_classes=bundle.num_classes,
+            seed=seed + 3000 + client_id,
+            model_name=name,
+        )
+        if self.store.has(client_id):
+            state, rng_state = self.store.load(client_id)
+            client.model.load_state_dict(state)
+            client.set_rng_state(rng_state)
+            self._hydrations += 1
+        return client
+
+    def _materialise(self, client_id: int) -> FLClient:
+        client = self._live.get(client_id)
+        if client is None:
+            client = self._derive(client_id)
+            self._live[client_id] = client
+            self._materialisations += 1
+        else:
+            self._live.move_to_end(client_id)
+        return client
+
+    def __getitem__(self, index):
+        """Materialise a client for *use* — marks it dirty, so its state
+        survives eviction and lands in checkpoints."""
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        cid = int(index)
+        if cid < 0:
+            cid += len(self)
+        if not 0 <= cid < len(self):
+            raise IndexError(f"client id {index} out of range [0, {len(self)})")
+        self._dirty.add(cid)
+        return self._materialise(cid)
+
+    def peek(self, client_id: int) -> FLClient:
+        """Materialise for *read-only* use (evaluation): an untouched
+        client stays clean, so eviction drops it instead of spilling and
+        checkpoints stay O(mutated clients)."""
+        cid = int(client_id)
+        if not 0 <= cid < len(self):
+            raise IndexError(f"client id {client_id} out of range [0, {len(self)})")
+        return self._materialise(cid)
+
+    # ------------------------------------------------------------------
+    # dirty tracking / eviction
+    # ------------------------------------------------------------------
+    def dirty_ids(self) -> List[int]:
+        """Clients whose state diverged from their seed derivation."""
+        return sorted(self._dirty)
+
+    def settle(self) -> None:
+        """Round-boundary eviction: shrink the live set to ``max_live``
+        (least-recently-used first), spilling dirty clients to the store
+        and dropping clean ones."""
+        if self.max_live is None:
+            return
+        while len(self._live) > self.max_live:
+            cid, client = self._live.popitem(last=False)
+            if cid in self._dirty:
+                self.store.save(cid, client.model.state_dict(), client.rng_state())
+                self._spills += 1
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # checkpoint integration (see repro.fl.checkpoint)
+    # ------------------------------------------------------------------
+    def client_state(self, client_id: int) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Current ``(model_state, rng_state)`` of a dirty client, read
+        from the live set or the spill store without re-materialising."""
+        client = self._live.get(client_id)
+        if client is not None:
+            return (
+                {k: np.asarray(v) for k, v in client.model.state_dict().items()},
+                client.rng_state(),
+            )
+        if self.store.has(client_id):
+            return self.store.load(client_id)
+        raise KeyError(
+            f"client {client_id} has no stored state (not live, not spilled)"
+        )
+
+    def restore_client_state(
+        self, client_id: int, model_state: Dict[str, np.ndarray], rng_state: dict
+    ) -> None:
+        """Adopt checkpointed state for one client: applied in place if
+        live, otherwise written straight to the spill store — either way
+        the next touch observes exactly the checkpointed state."""
+        client = self._live.get(client_id)
+        if client is not None:
+            client.model.load_state_dict(model_state)
+            client.set_rng_state(rng_state)
+        else:
+            self.store.save(client_id, model_state, rng_state)
+        self._dirty.add(client_id)
+
+    def reset(self) -> None:
+        """Forget every derived client and spilled shard (checkpoint
+        restore starts from a clean slate)."""
+        self._live.clear()
+        self._dirty.clear()
+        self.store.clear()
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "num_clients": len(self),
+            "live": len(self._live),
+            "dirty": len(self._dirty),
+            "materialisations": self._materialisations,
+            "hydrations": self._hydrations,
+            "evictions": self._evictions,
+            "spills": self._spills,
+        }
+
+    def close(self) -> None:
+        self._live.clear()
+        self.store.close()

@@ -11,7 +11,7 @@ failure injection, and history recording.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -21,7 +21,6 @@ from ..data.partition import (
     partition_dirichlet,
     partition_iid,
     partition_shards,
-    split_local_train_test,
 )
 from ..nn.models import build_model
 from ..obs import NULL_OBS, Observability
@@ -30,18 +29,27 @@ from .channel import CommChannel
 from .client import FLClient
 from .config import FederationConfig
 from .failures import DropoutLog, ParticipationSampler
-from .metrics import RoundRecord, RunHistory
+from .metrics import RoundRecord, RunHistory, nan_mean
+from .registry import ClientRegistry
 from .server import FLServer
 
 __all__ = ["build_federation", "Federation", "FederatedAlgorithm"]
 
 
 class Federation:
-    """Concrete clients + server + channel (+ executor) for one experiment."""
+    """Clients + server + channel (+ executor) for one experiment.
+
+    ``clients`` is either a plain list of materialised
+    :class:`~repro.fl.client.FLClient` (hand-built federations, tests) or
+    a :class:`~repro.fl.registry.ClientRegistry` (what
+    :func:`build_federation` constructs) deriving clients lazily with a
+    bounded live set.  Both are Sequences; everything downstream indexes
+    and iterates them identically.
+    """
 
     def __init__(
         self,
-        clients: List[FLClient],
+        clients: Union[List[FLClient], ClientRegistry],
         server: FLServer,
         bundle: FederatedDataBundle,
         channel: CommChannel,
@@ -50,12 +58,18 @@ class Federation:
         checkpoint_every: int = 0,
         checkpoint_path: Optional[str] = None,
         obs: Optional[Observability] = None,
+        eval_clients: Optional[int] = None,
+        eval_seed: int = 0,
     ) -> None:
         self.clients = clients
+        self.registry = clients if isinstance(clients, ClientRegistry) else None
         self.server = server
         self.bundle = bundle
         self.channel = channel
         self.participation = participation
+        # sampled-client evaluation at large N: None evaluates everyone
+        self.eval_clients = eval_clients
+        self.eval_seed = int(eval_seed)
         # observability must exist before bind(): executors read it there
         self.obs = obs if obs is not None else NULL_OBS
         self.channel.attach_metrics(self.obs.metrics)
@@ -72,9 +86,48 @@ class Federation:
     def public_x(self) -> np.ndarray:
         return self.bundle.public
 
+    # ------------------------------------------------------------------
+    # registry-aware client access (degenerates to plain list semantics)
+    # ------------------------------------------------------------------
+    def client_train_size(self, client_id: int) -> int:
+        """Local-train sample count — O(1) under a registry, no
+        materialisation (the empty-shard participation guard needs it for
+        every sampled id)."""
+        if self.registry is not None:
+            return self.registry.train_size(client_id)
+        return self.clients[client_id].num_samples
+
+    def peek_client(self, client_id: int) -> FLClient:
+        """A client for read-only use (evaluation): under a registry this
+        skips dirty-marking, so eviction can drop it instead of spilling."""
+        if self.registry is not None:
+            return self.registry.peek(client_id)
+        return self.clients[client_id]
+
+    def eval_client_ids(self, round_index: int) -> Sequence[int]:
+        """Ids evaluated for the ``C_acc`` metric at ``round_index``.
+
+        With ``eval_clients`` set, a per-round sample drawn from a
+        *stateless* seeded generator keyed on ``(eval_seed, round)`` — no
+        RNG stream to checkpoint, and a resumed run replays the identical
+        sample (the FaultPlan idiom).
+        """
+        if self.eval_clients is None or self.eval_clients >= self.num_clients:
+            return range(self.num_clients)
+        rng = np.random.default_rng((self.eval_seed, int(round_index)))
+        ids = rng.choice(self.num_clients, size=self.eval_clients, replace=False)
+        return [int(cid) for cid in np.sort(ids)]
+
+    def settle_clients(self) -> None:
+        """Round-boundary LRU eviction (no-op without a bounded registry)."""
+        if self.registry is not None:
+            self.registry.settle()
+
     def close(self) -> None:
-        """Release executor resources and flush/close the observability sink."""
+        """Release executor, registry/spill-store, and observability."""
         self.executor.close()
+        if self.registry is not None:
+            self.registry.close()
         self.obs.close()
 
 
@@ -98,36 +151,33 @@ def _partition_indices(bundle: FederatedDataBundle, config: FederationConfig):
 def build_federation(
     bundle: FederatedDataBundle, config: FederationConfig
 ) -> Federation:
-    """Instantiate clients (with their models and local splits) and the server."""
+    """Register clients lazily (a :class:`ClientRegistry`) and build the server.
+
+    Clients are *registered*, not materialised: the registry derives each
+    ``FLClient`` on first touch from the identical per-client seeds the
+    historical eager builder used, so any derived client — and therefore
+    any run — is bit-identical to the eager construction.  With
+    ``max_live_clients`` set, at most that many materialised clients carry
+    across rounds; mutated state spills to an npz shard store.
+    """
     parts = _partition_indices(bundle, config)
-    model_names = config.client_model_names()
-    clients: List[FLClient] = []
-    for cid, indices in enumerate(parts):
-        train_idx, test_idx = split_local_train_test(
-            indices,
-            test_fraction=config.local_test_fraction,
-            seed=config.seed + 1000 + cid,
-        )
-        model = build_model(
-            model_names[cid],
-            bundle.num_classes,
-            bundle.image_shape,
-            feature_dim=config.feature_dim,
-            rng=config.seed + 2000 + cid,
-        )
-        clients.append(
-            FLClient(
-                client_id=cid,
-                model=model,
-                x_train=bundle.train.x[train_idx],
-                y_train=bundle.train.y[train_idx],
-                x_test=bundle.train.x[test_idx],
-                y_test=bundle.train.y[test_idx],
-                num_classes=bundle.num_classes,
-                seed=config.seed + 3000 + cid,
-                model_name=model_names[cid],
-            )
-        )
+    model_cycle = (
+        [config.client_models]
+        if isinstance(config.client_models, str)
+        else list(config.client_models)
+    )
+    if not model_cycle:
+        raise ValueError("client_models list is empty")
+    registry = ClientRegistry(
+        bundle,
+        parts,
+        model_cycle,
+        feature_dim=config.feature_dim,
+        test_fraction=config.local_test_fraction,
+        base_seed=config.seed,
+        max_live=config.max_live_clients,
+        spill_dir=config.spill_dir,
+    )
     server_model = None
     if config.server_model is not None:
         server_model = build_model(
@@ -139,12 +189,13 @@ def build_federation(
         )
     server = FLServer(server_model, seed=config.seed + 5000)
     participation = ParticipationSampler(
-        num_clients=len(clients),
+        num_clients=len(registry),
         dropout_prob=config.dropout_prob,
         seed=config.seed + 6000,
+        clients_per_round=config.clients_per_round,
     )
     return Federation(
-        clients,
+        registry,
         server,
         bundle,
         CommChannel(),
@@ -153,6 +204,8 @@ def build_federation(
         checkpoint_every=config.checkpoint_every,
         checkpoint_path=config.checkpoint_path,
         obs=Observability.from_config(config),
+        eval_clients=config.eval_clients,
+        eval_seed=config.seed + 7000,
     )
 
 
@@ -221,9 +274,21 @@ class FederatedAlgorithm:
         return self.obs.metrics
 
     def active_clients(self) -> List[FLClient]:
-        """Clients participating this round (after failure injection)."""
-        ids = self.federation.participation.sample()
-        return [self.clients[i] for i in ids]
+        """Clients participating this round (after failure injection).
+
+        A sampled client whose derived shard has no training data (the
+        ``by_classes`` partitioner can hand out empty groups) degrades to
+        a logged dropout instead of crashing the round's aggregation.
+        """
+        participants: List[FLClient] = []
+        for cid in self.federation.participation.sample():
+            if self.federation.client_train_size(cid) == 0:
+                self.dropout_log.record(
+                    self.round_index + 1, cid, "participation", "empty_shard"
+                )
+                continue
+            participants.append(self.clients[cid])
+        return participants
 
     def map_clients(
         self,
@@ -310,7 +375,11 @@ class FederatedAlgorithm:
         return self.server.evaluate(self.bundle.test.x, self.bundle.test.y)
 
     def evaluate_clients(self) -> List[float]:
-        return [c.evaluate() for c in self.clients]
+        """Per-client ``C_acc`` — over everyone, or the federation's seeded
+        per-round sample when ``eval_clients`` caps the evaluation cost.
+        Clients with an empty local test set report NaN."""
+        ids = self.federation.eval_client_ids(self.round_index)
+        return [self.federation.peek_client(cid).evaluate() for cid in ids]
 
     # ------------------------------------------------------------------
     # round bookkeeping shared by the sync loop and the async engine
@@ -354,12 +423,9 @@ class FederatedAlgorithm:
             eval_span.set_attr("server_acc", server_acc)
         if self.metrics.enabled:
             self.metrics.gauge("run/server_acc").set(server_acc)
-            mean_acc = (
-                sum(client_accs) / len(client_accs)
-                if client_accs
-                else float("nan")
-            )
-            self.metrics.gauge("run/mean_client_acc").set(mean_acc)
+            # NaN-aware: empty-test-set clients report NaN and must not
+            # poison (or, as 0.0 once did, silently drag down) the mean
+            self.metrics.gauge("run/mean_client_acc").set(nan_mean(client_accs))
             self.metrics.gauge("run/round_index").set(self.round_index)
             for key, value in self.metrics.snapshot().items():
                 extras.setdefault(key, value)
@@ -473,5 +539,8 @@ class FederatedAlgorithm:
                     final_round or self.round_index % checkpoint_every == 0
                 ):
                     save_checkpoint(self, checkpoint_path, history=history)
+                # round boundary: shrink the registry's live set back to
+                # its budget (references handed out above are now dead)
+                self.federation.settle_clients()
         self.obs.export_metrics()
         return history

@@ -175,7 +175,12 @@ def train_distill(
 
 
 def evaluate_accuracy(model: ClassifierModel, x: np.ndarray, y: np.ndarray) -> float:
-    """Top-1 accuracy of ``model`` on ``(x, y)``; 0.0 on an empty set."""
+    """Top-1 accuracy of ``model`` on ``(x, y)``; NaN on an empty set.
+
+    NaN — not 0.0 — so clients with an empty local test set (singleton
+    shards) are excluded from aggregate accuracy instead of dragging it
+    down; see :func:`repro.fl.metrics.nan_mean`.
+    """
     if len(x) == 0:
-        return 0.0
+        return float("nan")
     return float((model.predict(x) == np.asarray(y)).mean())

@@ -58,7 +58,9 @@ __all__ = [
 #: cache entries then stop matching instead of silently colliding.
 #: v2: round-engine fields (engine / max_staleness / staleness_alpha /
 #: buffer_size / fault_plan) entered the key.
-RUN_KEY_VERSION = 2
+#: v3: cohort fields (clients_per_round / eval_clients) entered the key;
+#: max_live_clients is a runtime field (eviction + spill are bit-neutral).
+RUN_KEY_VERSION = 3
 
 #: ExperimentSetting fields a spec may set (key fields affect results and
 #: enter the run key; runtime fields do not — histories are bit-identical
@@ -77,12 +79,15 @@ _KEY_SETTING_FIELDS = (
     "staleness_alpha",
     "buffer_size",
     "fault_plan",
+    "clients_per_round",
+    "eval_clients",
 )
 _RUNTIME_SETTING_FIELDS = (
     "executor",
     "max_workers",
     "task_timeout_s",
     "retry_backoff_s",
+    "max_live_clients",
 )
 _EXTRA_FIELDS = ("algorithm", "rounds", "eval_every")
 _ALLOWED_FIELDS = _KEY_SETTING_FIELDS + _RUNTIME_SETTING_FIELDS + _EXTRA_FIELDS

@@ -1,0 +1,455 @@
+"""Lazy client registry, spill store, cohort sampling, NaN-aware metrics.
+
+The registry replaced eager client materialisation in
+``build_federation``; its load-bearing contract is that the *degenerate*
+configuration (no ``max_live_clients``, full participation) is
+bit-identical to the historical eager path, and that a bounded registry
+with spill-to-disk produces the same run as an unbounded one.  CI
+enforces both here.
+"""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms import build_algorithm
+from repro.data import Dataset, FederatedDataBundle
+from repro.data.partition import split_local_train_test
+from repro.fl import (
+    ClientModelStore,
+    ClientRegistry,
+    FederationConfig,
+    FLClient,
+    ParticipationSampler,
+    nan_mean,
+)
+from repro.fl.checkpoint import load_checkpoint, load_history
+from repro.nn import build_model
+
+from ..conftest import make_tiny_federation
+from .test_exact_resume import assert_bit_identical
+
+FEATURE_DIM = 16
+
+
+def make_registry(bundle, num_clients=4, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(bundle.train))
+    parts = np.array_split(order, num_clients)
+    return ClientRegistry(
+        bundle,
+        parts,
+        ["mlp_small"],
+        feature_dim=FEATURE_DIM,
+        test_fraction=0.2,
+        base_seed=seed,
+        **kwargs,
+    )
+
+
+class TestClientModelStore:
+    def _state(self, rng):
+        return {
+            "layer.weight": rng.normal(size=(4, 3)).astype(np.float64),
+            "layer.bias": rng.normal(size=4).astype(np.float32),
+        }
+
+    def test_round_trip_preserves_dtypes_and_values(self, tmp_path):
+        store = ClientModelStore(str(tmp_path / "store"))
+        rng = np.random.default_rng(0)
+        state = self._state(rng)
+        rng_state = {"bit_generator": "PCG64", "state": {"state": 123, "inc": 45}}
+        store.save(7, state, rng_state)
+        loaded, loaded_rng = store.load(7)
+        assert set(loaded) == set(state)
+        for key in state:
+            assert loaded[key].dtype == state[key].dtype
+            np.testing.assert_array_equal(loaded[key], state[key])
+        assert loaded_rng == rng_state
+
+    def test_has_and_clear(self, tmp_path):
+        store = ClientModelStore(str(tmp_path / "store"))
+        assert not store.has(0)
+        store.save(0, self._state(np.random.default_rng(1)), {"s": 1})
+        assert store.has(0)
+        store.clear()
+        assert not store.has(0)
+
+    def test_owned_tempdir_removed_on_close(self):
+        store = ClientModelStore()
+        store.save(0, self._state(np.random.default_rng(2)), {"s": 1})
+        root = store.root
+        assert root is not None and os.path.isdir(root)
+        store.close()
+        assert not os.path.exists(root)
+
+    def test_explicit_root_left_in_place(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = ClientModelStore(root)
+        store.save(0, self._state(np.random.default_rng(3)), {"s": 1})
+        store.close()
+        assert os.path.isdir(root)
+
+
+class TestClientRegistry:
+    def test_derived_client_matches_eager_recipe(self, tiny_bundle):
+        reg = make_registry(tiny_bundle, seed=5)
+        try:
+            cid = 2
+            train_idx, test_idx = split_local_train_test(
+                reg._parts[cid], test_fraction=0.2, seed=5 + 1000 + cid
+            )
+            model = build_model(
+                "mlp_small",
+                tiny_bundle.num_classes,
+                tiny_bundle.image_shape,
+                feature_dim=FEATURE_DIM,
+                rng=5 + 2000 + cid,
+            )
+            eager = FLClient(
+                client_id=cid,
+                model=model,
+                x_train=tiny_bundle.train.x[train_idx],
+                y_train=tiny_bundle.train.y[train_idx],
+                x_test=tiny_bundle.train.x[test_idx],
+                y_test=tiny_bundle.train.y[test_idx],
+                num_classes=tiny_bundle.num_classes,
+                seed=5 + 3000 + cid,
+                model_name="mlp_small",
+            )
+            derived = reg[cid]
+            np.testing.assert_array_equal(derived.x_train, eager.x_train)
+            np.testing.assert_array_equal(derived.y_test, eager.y_test)
+            for key, value in eager.model.state_dict().items():
+                np.testing.assert_array_equal(
+                    derived.model.state_dict()[key], value
+                )
+            assert derived.rng_state() == eager.rng_state()
+        finally:
+            reg.close()
+
+    def test_train_size_matches_materialised_split(self, tiny_bundle):
+        # odd shard sizes, including the n=1 and n=0 degenerate cases
+        parts = [
+            np.arange(0, 1),
+            np.arange(1, 3),
+            np.arange(3, 10),
+            np.arange(10, 10),
+            np.arange(10, 63),
+        ]
+        reg = ClientRegistry(
+            tiny_bundle, parts, ["mlp_small"],
+            feature_dim=FEATURE_DIM, test_fraction=0.2, base_seed=0,
+        )
+        try:
+            for cid in range(len(reg)):
+                assert reg.train_size(cid) == reg.peek(cid).num_samples
+        finally:
+            reg.close()
+
+    def test_peek_stays_clean_getitem_marks_dirty(self, tiny_bundle):
+        reg = make_registry(tiny_bundle)
+        try:
+            reg.peek(0)
+            assert reg.dirty_ids() == []
+            reg[1]
+            assert reg.dirty_ids() == [1]
+        finally:
+            reg.close()
+
+    def test_settle_enforces_max_live_lru(self, tiny_bundle):
+        reg = make_registry(tiny_bundle, max_live=2)
+        try:
+            for cid in range(4):
+                reg.peek(cid)
+            assert reg.stats()["live"] == 4  # no mid-round eviction
+            reg.settle()
+            stats = reg.stats()
+            assert stats["live"] == 2
+            assert stats["evictions"] == 2
+            assert stats["spills"] == 0  # clean clients are dropped, not spilled
+            # the two most recently used survive
+            assert set(reg._live) == {2, 3}
+        finally:
+            reg.close()
+
+    def test_dirty_eviction_spills_and_hydrates_mutated_state(self, tiny_bundle):
+        reg = make_registry(tiny_bundle, max_live=1)
+        try:
+            client = reg[0]
+            state = client.model.state_dict()
+            key = next(iter(state))
+            state[key] = state[key] + 1.0
+            mutated = state[key]
+            client.model.load_state_dict(state)
+            reg.peek(1)  # push client 0 to LRU position
+            reg.settle()
+            assert reg.stats()["spills"] == 1
+            assert 0 not in reg._live
+            rehydrated = reg[0]
+            np.testing.assert_array_equal(
+                rehydrated.model.state_dict()[key], mutated
+            )
+            assert reg.stats()["hydrations"] == 1
+        finally:
+            reg.close()
+
+    def test_clean_eviction_rebuilds_identically(self, tiny_bundle):
+        reg = make_registry(tiny_bundle, max_live=1)
+        try:
+            before = {
+                k: v.copy() for k, v in reg.peek(0).model.state_dict().items()
+            }
+            reg.peek(1)
+            reg.settle()
+            after = reg.peek(0).model.state_dict()
+            for key, value in before.items():
+                np.testing.assert_array_equal(after[key], value)
+        finally:
+            reg.close()
+
+    def test_max_live_validation(self, tiny_bundle):
+        with pytest.raises(ValueError):
+            make_registry(tiny_bundle, max_live=0)
+
+
+class TestBoundedRunEquivalence:
+    """A bounded registry (spill/evict/hydrate every round) must produce
+    the exact run an unbounded one does — the tentpole's correctness
+    claim, CI-enforced."""
+
+    def _run(self, bundle, **fed_kwargs):
+        fed = make_tiny_federation(
+            bundle, num_clients=4, server_model=None, **fed_kwargs
+        )
+        algo = build_algorithm("fedproto", fed, seed=0, epoch_scale=0.1)
+        try:
+            return algo.run(3, eval_every=1)
+        finally:
+            fed.close()
+
+    def test_bounded_registry_bit_identical_to_unbounded(self, tiny_bundle):
+        unbounded = self._run(tiny_bundle)
+        bounded = self._run(tiny_bundle, max_live_clients=1)
+        assert_bit_identical(unbounded, bounded)
+
+    def test_bounded_resume_bit_identical(self, tiny_bundle, tmp_path):
+        path = str(tmp_path / "bounded.ckpt.npz")
+        full = self._run(tiny_bundle, max_live_clients=1)
+
+        fed = make_tiny_federation(
+            tiny_bundle, num_clients=4, server_model=None, max_live_clients=1
+        )
+        algo = build_algorithm("fedproto", fed, seed=0, epoch_scale=0.1)
+        try:
+            algo.run(2, eval_every=1, checkpoint_every=2, checkpoint_path=path)
+        finally:
+            fed.close()
+
+        fed = make_tiny_federation(
+            tiny_bundle, num_clients=4, server_model=None, max_live_clients=1
+        )
+        algo = build_algorithm("fedproto", fed, seed=0, epoch_scale=0.1)
+        try:
+            done = load_checkpoint(algo, path)
+            assert done == 2
+            history = load_history(path)
+            resumed = algo.run(3 - done, eval_every=1, history=history)
+        finally:
+            fed.close()
+
+        assert_bit_identical(full, resumed)
+
+    def test_parallel_executor_rejected_with_bounded_registry(self):
+        with pytest.raises(ValueError, match="parallel"):
+            FederationConfig(
+                num_clients=4,
+                client_models="mlp_small",
+                max_live_clients=2,
+                executor="parallel",
+            )
+
+
+class TestCohortSampling:
+    def _reference_sample(self, rng, num_clients, dropout_prob, min_available):
+        """The historical per-client scalar loop, verbatim."""
+        available = []
+        for cid in range(num_clients):
+            if rng.random() >= dropout_prob:
+                available.append(cid)
+        shortfall = min_available - len(available)
+        if shortfall > 0:
+            dropped = np.setdiff1d(
+                np.arange(num_clients), np.asarray(available, dtype=np.int64)
+            )
+            extra = rng.choice(dropped, size=shortfall, replace=False)
+            available.extend(int(cid) for cid in extra)
+        return sorted(available)
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("dropout_prob,min_available", [(0.3, 1), (0.9, 5)])
+    def test_vectorised_draws_bit_identical_to_loop(
+        self, seed, dropout_prob, min_available
+    ):
+        sampler = ParticipationSampler(
+            12, dropout_prob=dropout_prob, min_available=min_available, seed=seed
+        )
+        reference_rng = np.random.default_rng(seed)
+        for _ in range(50):
+            assert sampler.sample() == self._reference_sample(
+                reference_rng, 12, dropout_prob, min_available
+            )
+
+    def test_cohort_is_sorted_subset_of_requested_size(self):
+        sampler = ParticipationSampler(100, clients_per_round=8, seed=3)
+        for _ in range(20):
+            ids = sampler.sample()
+            assert len(ids) == 8
+            assert ids == sorted(ids)
+            assert len(set(ids)) == 8
+            assert all(0 <= cid < 100 for cid in ids)
+
+    def test_cohort_varies_across_rounds_and_is_seed_deterministic(self):
+        a = [ParticipationSampler(50, clients_per_round=5, seed=4).sample()
+             for _ in range(1)]
+        sampler_b = ParticipationSampler(50, clients_per_round=5, seed=4)
+        assert sampler_b.sample() == a[0]
+        assert sampler_b.sample() != a[0] or True  # stream advances
+        rounds = [sampler_b.sample() for _ in range(10)]
+        assert len({tuple(r) for r in rounds}) > 1
+
+    def test_cohort_with_dropout_stays_within_cohort(self):
+        sampler = ParticipationSampler(
+            40, clients_per_round=10, dropout_prob=0.5, min_available=2, seed=0
+        )
+        for _ in range(30):
+            ids = sampler.sample()
+            assert 2 <= len(ids) <= 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParticipationSampler(4, clients_per_round=0)
+        with pytest.raises(ValueError):
+            ParticipationSampler(4, clients_per_round=5)
+        with pytest.raises(ValueError):
+            # min_available is checked against the cohort, not the population
+            ParticipationSampler(10, clients_per_round=3, min_available=4)
+
+
+class TestSampledEvaluation:
+    def test_full_evaluation_when_unset(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, num_clients=4)
+        try:
+            assert list(fed.eval_client_ids(0)) == [0, 1, 2, 3]
+        finally:
+            fed.close()
+
+    def test_sampled_evaluation_is_stateless_and_round_keyed(self, tiny_bundle):
+        fed = make_tiny_federation(tiny_bundle, num_clients=4, eval_clients=2)
+        try:
+            ids_r0 = fed.eval_client_ids(0)
+            assert len(ids_r0) == 2 and list(ids_r0) == sorted(ids_r0)
+            # stateless: same round replays the same sample (resume safety)
+            assert fed.eval_client_ids(0) == ids_r0
+            samples = {tuple(fed.eval_client_ids(r)) for r in range(20)}
+            assert len(samples) > 1  # round-keyed, not frozen
+        finally:
+            fed.close()
+
+
+def singleton_class_bundle(bundle, singleton_class=5):
+    """Rebuild ``bundle`` so ``singleton_class`` has exactly one train
+    sample (or zero with ``keep=0`` via ``drop_class_bundle``)."""
+    y = bundle.train.y
+    keep = np.flatnonzero(y != singleton_class)
+    one = np.flatnonzero(y == singleton_class)[:1]
+    idx = np.sort(np.concatenate([keep, one]))
+    train = Dataset(
+        bundle.train.x[idx], y[idx], bundle.num_classes, name="singleton"
+    )
+    return FederatedDataBundle(
+        train=train,
+        test=bundle.test,
+        public=bundle.public,
+        public_true_labels=bundle.public_true_labels,
+        num_classes=bundle.num_classes,
+        name="singleton",
+    )
+
+
+def drop_class_bundle(bundle, dropped_class=5):
+    y = bundle.train.y
+    idx = np.flatnonzero(y != dropped_class)
+    train = Dataset(
+        bundle.train.x[idx], y[idx], bundle.num_classes, name="dropped"
+    )
+    return FederatedDataBundle(
+        train=train,
+        test=bundle.test,
+        public=bundle.public,
+        public_true_labels=bundle.public_true_labels,
+        num_classes=bundle.num_classes,
+        name="dropped",
+    )
+
+
+GROUPS = [[0, 1], [2, 3], [4], [5]]
+
+
+class TestSmallShardRegressions:
+    """Satellites 1 and 4: singleton and empty shards must not poison a
+    run — NaN-aware accuracy for empty local test sets, logged dropout
+    for empty train shards."""
+
+    def test_by_classes_singleton_shard_run_is_nan_aware(self, tiny_bundle):
+        bundle = singleton_class_bundle(tiny_bundle)
+        fed = make_tiny_federation(
+            bundle,
+            num_clients=len(GROUPS),
+            server_model=None,
+            partition=("by_classes", {"class_groups": GROUPS}),
+        )
+        algo = build_algorithm("fedproto", fed, seed=0, epoch_scale=0.1)
+        try:
+            # the singleton client trains on its 1 sample, has no local test
+            assert fed.client_train_size(3) == 1
+            assert len(fed.peek_client(3).x_test) == 0
+            history = algo.run(2, eval_every=1)
+        finally:
+            fed.close()
+        record = history.records[-1]
+        assert math.isnan(record.client_accs[3])
+        assert all(not math.isnan(a) for a in record.client_accs[:3])
+        # the NaN-aware mean reflects the measurable clients only
+        assert record.mean_client_acc == nan_mean(record.client_accs[:3])
+        assert not math.isnan(record.mean_client_acc)
+
+    def test_empty_shard_degrades_to_logged_dropout(self, tiny_bundle):
+        bundle = drop_class_bundle(tiny_bundle)
+        fed = make_tiny_federation(
+            bundle,
+            num_clients=len(GROUPS),
+            server_model=None,
+            partition=("by_classes", {"class_groups": GROUPS}),
+        )
+        algo = build_algorithm("fedproto", fed, seed=0, epoch_scale=0.1)
+        try:
+            assert fed.client_train_size(3) == 0
+            history = algo.run(2, eval_every=1)
+        finally:
+            fed.close()
+        assert len(history.records) == 2
+        empties = [
+            e for e in algo.dropout_log.events if e.reason == "empty_shard"
+        ]
+        assert {e.client_id for e in empties} == {3}
+        assert {e.round_index for e in empties} == {1, 2}
+
+    def test_nan_mean(self):
+        nan = float("nan")
+        assert nan_mean([1.0, 3.0]) == 2.0
+        assert nan_mean([1.0, nan, 3.0]) == 2.0
+        assert math.isnan(nan_mean([nan, nan]))
+        assert math.isnan(nan_mean([]))

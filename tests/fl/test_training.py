@@ -1,5 +1,7 @@
 """Tests for the shared training loops."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -147,8 +149,10 @@ class TestTrainDistill:
 
 
 class TestEvaluate:
-    def test_empty_set(self):
-        assert evaluate_accuracy(fresh_model(), np.zeros((0, *IMG)), np.zeros(0)) == 0.0
+    def test_empty_set_is_nan(self):
+        # An empty test set carries no information: NaN, not a fake 0.0
+        # that would drag down cohort means (see RoundRecord.mean_client_acc).
+        assert math.isnan(evaluate_accuracy(fresh_model(), np.zeros((0, *IMG)), np.zeros(0)))
 
     def test_perfect_on_memorised(self):
         model = fresh_model()

@@ -1,0 +1,20 @@
+# lint-fixture-module: repro.fl.client
+"""Wire-payload buffers allocated with/without an explicit dtype."""
+
+import numpy as np
+
+
+def corrupt_buffers(num_classes, feature_dim):
+    protos = np.full((num_classes, feature_dim), np.nan)  # BAD
+    counts = np.zeros(num_classes)  # BAD
+    mask = np.ones(num_classes)  # BAD
+    scratch = np.empty(feature_dim)  # BAD
+    return protos, counts, mask, scratch
+
+
+def clean_buffers(num_classes, feature_dim):
+    protos = np.full((num_classes, feature_dim), np.nan, dtype=np.float32)
+    counts = np.zeros(num_classes, dtype=np.int64)
+    accumulator = np.zeros(feature_dim, dtype=np.float64)
+    filled = np.full_like(protos, 0.0)
+    return protos, counts, accumulator, filled
