@@ -25,10 +25,21 @@ plus two robustness scenarios:
   under a fixed ceiling — O(cohort) memory, not O(N) — asserted here
   and enforced by the ``cohort-smoke`` CI job.
 
-Writes the numbers as ``BENCH_8.json`` so successive PRs can compare the
+plus a ``profile`` section: one *separately federated* FedPKD round run
+under the op-level profiler (``repro.obs.profile``), recording where the
+round's time actually goes (top ops per stage).  The timing reps above
+stay unprofiled so the ops/sec trajectory is never perturbed by hook
+overhead.
+
+Writes the numbers as ``BENCH_9.json`` so successive PRs can compare the
 end-to-end trajectory, not just micro-kernels:
 
-    PYTHONPATH=src python scripts/bench_trajectory.py --out BENCH_8.json
+    PYTHONPATH=src python scripts/bench_trajectory.py --out BENCH_9.json
+
+Compare two snapshots (CI's perf gate) with::
+
+    PYTHONPATH=src python -m repro trace compare BENCH_9.json \
+        --baseline BENCH_8.json --threshold 0.5
 
 The per-suite pytest-benchmark file (benchmarks/test_substrate_perf.py)
 stays the fine-grained regression gate; this script is the coarse
@@ -190,6 +201,42 @@ def bench_straggler_scenario():
     }
 
 
+def bench_profiled_round():
+    """One profiled FedPKD round: where does the round's time go?
+
+    Runs on its own federation with the profiler active, so hook
+    overhead never contaminates the unprofiled ops/sec reps.  Returns
+    per-stage totals and the top ops of the heaviest stage.
+    """
+    setting = ExperimentSetting(scale="tiny", seed=0, profile=True)
+    federation, algo = _make_algo(setting)
+    try:
+        algo.run(1)
+        profiler = federation.obs.profiler
+    finally:
+        federation.close()
+    stage_seconds = {
+        stage: round(seconds, 4)
+        for stage, seconds in sorted(
+            profiler.stage_seconds().items(), key=lambda kv: -kv[1]
+        )
+    }
+    top_stage = next(iter(stage_seconds), None)
+    top_ops = [
+        {
+            "stage": row["stage"],
+            "model": row["model"],
+            "op": row["op"],
+            "calls": row["calls"],
+            "seconds": round(row["seconds"], 4),
+            "flops": row["flops"],
+        }
+        for row in profiler.rows()
+        if row["stage"] == top_stage
+    ][:8]
+    return {"stage_seconds": stage_seconds, "top_ops": top_ops}
+
+
 # --------------------------------------------------------------------------
 # cohort scenario: 100k registered clients, O(cohort) memory
 # --------------------------------------------------------------------------
@@ -281,10 +328,10 @@ def bench_cohort_scenario():
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_8.json", metavar="PATH")
+    parser.add_argument("--out", default="BENCH_9.json", metavar="PATH")
     parser.add_argument(
         "--scenario",
-        choices=("all", "trajectory", "straggler", "cohort"),
+        choices=("all", "trajectory", "profile", "straggler", "cohort"),
         default="all",
         help="which benchmarks to run (default: all)",
     )
@@ -305,6 +352,8 @@ def main(argv=None):
                 "fedpkd_round": bench_fedpkd_round(),
             }
         )
+    if args.scenario in ("all", "profile"):
+        results["profile"] = bench_profiled_round()
     scenarios = {}
     if args.scenario in ("all", "straggler"):
         scenarios["straggler"] = bench_straggler_scenario()
@@ -317,6 +366,11 @@ def main(argv=None):
         f.write("\n")
     for name, stats in results["ops"].items():
         print(f"{name:13} {stats['ops_per_sec']:10.3f} ops/s ({stats['reps']} reps)")
+    if "profile" in results:
+        hot = results["profile"]["top_ops"]
+        if hot:
+            named = ", ".join(f"{r['op']}={r['seconds']}s" for r in hot[:3])
+            print(f"{'profile':13} hottest {hot[0]['stage']}: {named}")
     if "straggler" in scenarios:
         stats = scenarios["straggler"]
         print(

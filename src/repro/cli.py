@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro run --algorithm fedpkd --dataset cifar10 \
         --partition dir0.1 --scale tiny --rounds 5 --out history.json \
@@ -15,14 +15,21 @@ Five subcommands::
 
     python -m repro lint src --baseline .reprolint-baseline.json
 
+    python -m repro trace summarize trace.jsonl --metrics metrics.jsonl
+    python -m repro trace compare bench.json --baseline BENCH_8.json
+
 ``run`` executes one algorithm and writes its RunHistory as JSON (with
 optional observability outputs; see docs/OBSERVABILITY.md); ``sweep``
 expands a grid spec into a deduplicated run queue and executes it through
 the result cache and run registry (docs/SWEEP.md); ``experiment``
 regenerates one paper figure/table and prints its rows; ``results``
-tabulates saved history JSON files or queries a sweep registry; ``lint``
-runs the repo's static analysis rules (or, with ``--traces``, validates
-observability output; see docs/LINT.md).
+tabulates saved history JSON files or queries a sweep registry (with
+``--aggregate seed`` collapsing same-config runs into mean±std rows);
+``lint`` runs the repo's static analysis rules (or, with ``--traces``,
+validates observability output; see docs/LINT.md); ``trace``
+post-processes a run's JSONL trace into stage-time tables, hot-op
+rankings, async critical paths, and perf-regression diffs
+(docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -200,6 +207,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="export the metrics registry to this .jsonl/.json/.csv file",
     )
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the op-level profiler (repro.obs.profile); aggregates "
+        "land in the metrics export and the trace's 'profile' scope — "
+        "analyse them with `repro trace summarize`",
+    )
     run_p.add_argument("--out", default=None, help="path for the history JSON")
     run_p.add_argument("--verbose", action="store_true")
 
@@ -222,6 +236,57 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_sweep_parser(sub)
 
+    trace_p = sub.add_parser(
+        "trace", help="analyse a JSONL trace (timings, hot ops, critical path)"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    sum_p = trace_sub.add_parser(
+        "summarize",
+        help="stage-time table plus top-K hot ops from profile events",
+    )
+    sum_p.add_argument("trace", help="JSONL trace from `repro run --trace`")
+    sum_p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="also summarise registry/* gauges from this metrics export",
+    )
+    sum_p.add_argument(
+        "--stage",
+        default=None,
+        help="restrict the hot-op table to one stage (e.g. local_train)",
+    )
+    sum_p.add_argument(
+        "--top-k", type=int, default=10, help="hot ops to show (default 10)"
+    )
+
+    cp_p = trace_sub.add_parser(
+        "critical-path",
+        help="async-engine dispatch/arrival timelines and staleness",
+    )
+    cp_p.add_argument("trace", help="JSONL trace of an --engine async run")
+
+    cmp_p = trace_sub.add_parser(
+        "compare",
+        help="diff a bench trajectory against a baseline; exit 1 on regression",
+    )
+    cmp_p.add_argument(
+        "current", help="bench JSON from scripts/bench_trajectory.py"
+    )
+    cmp_p.add_argument(
+        "--baseline", required=True, metavar="BENCH_N.json",
+        help="checked-in trajectory file to compare against",
+    )
+    cmp_p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        metavar="FRAC",
+        help="fractional ops/sec drop that counts as a regression "
+        "(default 0.2 = 20%%)",
+    )
+
     res_p = sub.add_parser(
         "results", help="tabulate saved RunHistory JSON files or registry runs"
     )
@@ -242,6 +307,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FIELD=VALUE",
         help="filter registry runs (repeatable), e.g. --where algorithm=fedpkd "
         "--where partition=dir0.5 --where status=completed",
+    )
+    res_p.add_argument(
+        "--aggregate",
+        choices=("seed",),
+        default=None,
+        help="with --registry: collapse runs identical up to this field "
+        "into mean±std rows (n_seeds column shows group size)",
     )
     res_p.add_argument(
         "--target",
@@ -297,6 +369,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         trace_path=args.trace,
         metrics_path=args.metrics_out,
+        profile=args.profile,
     )
     history = run_algorithm(
         setting, args.algorithm, rounds=args.rounds, resume=args.resume
@@ -327,6 +400,208 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .experiments.harness import format_table
+    from .obs import trace_analysis as ta
+
+    if args.trace_command == "compare":
+        try:
+            with open(args.current) as f:
+                current = json.load(f)
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read bench file: {exc}", file=sys.stderr)
+            return 2
+        try:
+            result = ta.compare_benchmarks(
+                current, baseline, threshold=args.threshold
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        rows = [
+            [
+                r["op"],
+                r["baseline_ops_per_sec"],
+                r["current_ops_per_sec"],
+                "N/A" if r["delta_frac"] is None else f"{100 * r['delta_frac']:+.1f}%",
+                "REGRESSED" if r["regressed"] else "ok",
+            ]
+            for r in result["rows"]
+        ]
+        print(
+            format_table(
+                ["op", "baseline_ops/s", "current_ops/s", "delta", "status"],
+                rows,
+                title=f"bench compare (threshold {100 * args.threshold:.0f}%)",
+            )
+        )
+        if result["regressed"]:
+            print("perf regression detected", file=sys.stderr)
+            return 1
+        return 0
+
+    try:
+        events = ta.load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace '{args.trace}': {exc}", file=sys.stderr)
+        return 2
+
+    if args.trace_command == "critical-path":
+        summary = ta.critical_path(events)
+        if not summary:
+            print("no engine events in trace (sync run?)", file=sys.stderr)
+            return 2
+        rows = [
+            [
+                c["client_id"],
+                c["dispatches"],
+                c["mean_delay"],
+                c["max_delay"],
+                c["total_delay"],
+                c["last_arrival"],
+                "*" if c["client_id"] in summary["critical_clients"] else "",
+            ]
+            for c in summary["clients"]
+        ]
+        print(
+            format_table(
+                [
+                    "client", "dispatches", "mean_delay", "max_delay",
+                    "total_delay", "last_arrival", "critical",
+                ],
+                rows,
+                title="async dispatch/arrival timelines (virtual clock)",
+            )
+        )
+        print(f"\nstale drops: {summary['stale_drops']}")
+        if "staleness" in summary:
+            s = summary["staleness"]
+            print(
+                f"staleness of drops: mean={s['mean']:.2f} "
+                f"p95={s['p95']:.2f} max={s['max']}"
+            )
+        if summary["faults"]:
+            causes = ", ".join(
+                f"{k}={v}" for k, v in sorted(summary["faults"].items())
+            )
+            print(f"injected faults: {causes}")
+        return 0
+
+    # summarize
+    stage_rows = ta.stage_summary(events)
+    if stage_rows:
+        print(
+            format_table(
+                ["stage", "count", "total_s", "mean_s", "p50_s", "p95_s"],
+                [
+                    [r["stage"], r["count"], r["total_s"], r["mean_s"],
+                     r["p50_s"], r["p95_s"]]
+                    for r in stage_rows
+                ],
+                title="stage times (across rounds)",
+            )
+        )
+    hot = ta.hot_ops(events, stage=args.stage, top_k=args.top_k)
+    if hot:
+        scope = args.stage or "all stages"
+        print(
+            "\n"
+            + format_table(
+                ["stage", "model", "op", "calls", "seconds", "gflops/s", "cum%"],
+                [
+                    [r["stage"], r["model"], r["op"], r["calls"], r["seconds"],
+                     r["gflops_per_s"], f"{100 * r['cum_frac']:.0f}%"]
+                    for r in hot
+                ],
+                title=f"top-{args.top_k} hot ops ({scope})",
+            )
+        )
+        cov = ta.stage_coverage(events)
+        if cov:
+            print(
+                "\n"
+                + format_table(
+                    ["stage", "wall_s", "ops_s", "coverage"],
+                    [
+                        [r["stage"], r["wall_s"], r["ops_s"],
+                         f"{100 * r['coverage']:.1f}%"]
+                        for r in cov
+                    ],
+                    title="profiled-op coverage of stage wall time",
+                )
+            )
+    else:
+        print("\nno profile events (re-run with --profile to get hot ops)")
+    if args.metrics:
+        try:
+            reg = ta.registry_summary(ta.load_metrics(args.metrics))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read metrics '{args.metrics}': {exc}", file=sys.stderr)
+            return 2
+        if reg:
+            print(
+                "\n"
+                + format_table(
+                    ["metric", "value"],
+                    sorted(reg.items()),
+                    title="cohort registry (spill/hydration) summary",
+                )
+            )
+    return 0
+
+
+def _aggregate_by_seed(records: List[dict]) -> List[dict]:
+    """Collapse registry records identical up to ``setting.seed``.
+
+    Returns synthetic rows carrying ``mean±std`` strings for the result
+    fields and an ``n_seeds`` count; groups of one pass through as-is.
+    """
+    import re
+    import statistics
+
+    groups: dict = {}
+    for record in records:
+        config = record.get("config") or {}
+        setting = dict(config.get("setting") or {})
+        setting.pop("seed", None)
+        key = json.dumps(
+            {**config, "setting": setting}, sort_keys=True, default=str
+        )
+        groups.setdefault(key, []).append(record)
+
+    def agg(values: List[float]) -> str:
+        values = [v for v in values if v is not None]
+        if not values:
+            return "N/A"
+        mean = statistics.fmean(values)
+        std = statistics.stdev(values) if len(values) > 1 else 0.0
+        return f"{mean:.3f}±{std:.3f}"
+
+    rows = []
+    for members in groups.values():
+        members.sort(key=lambda r: r["run_key"])
+        first = members[0]
+        label = re.sub(r"/s\d+", "", first.get("label", "?"))
+        statuses = {m["status"] for m in members}
+        rows.append(
+            {
+                "label": label,
+                "sweep": first.get("sweep", "?"),
+                "status": next(iter(statuses)) if len(statuses) == 1 else "mixed",
+                "n_seeds": len(members),
+                "rounds": first.get("rounds"),
+                "final_server_acc": agg([m.get("final_server_acc") for m in members]),
+                "best_server_acc": agg([m.get("best_server_acc") for m in members]),
+                "final_client_acc": agg([m.get("final_client_acc") for m in members]),
+                "comm_mb": agg([m.get("comm_mb") for m in members]),
+            }
+        )
+    rows.sort(key=lambda r: r["label"])
+    return rows
+
+
 def _cmd_registry_results(args: argparse.Namespace) -> int:
     from .experiments.harness import format_table
     from .sweep import RegistryError, RunRegistry, parse_where
@@ -337,6 +612,26 @@ def _cmd_registry_results(args: argparse.Namespace) -> int:
     except RegistryError as exc:
         print(f"registry error: {exc}", file=sys.stderr)
         return 2
+    if getattr(args, "aggregate", None) == "seed":
+        rows = _aggregate_by_seed(records)
+        print(
+            format_table(
+                [
+                    "label", "sweep", "status", "n_seeds", "rounds",
+                    "final_S_acc", "best_S_acc", "final_C_acc", "comm_MB",
+                ],
+                [
+                    [
+                        r["label"], r["sweep"], r["status"], r["n_seeds"],
+                        r["rounds"], r["final_server_acc"], r["best_server_acc"],
+                        r["final_client_acc"], r["comm_mb"],
+                    ]
+                    for r in rows
+                ],
+                title=f"registry: {args.registry} (aggregated over seeds)",
+            )
+        )
+        return 0
     records.sort(key=lambda r: (r.get("label", ""), r["run_key"]))
     headers = [
         "run_key",
@@ -379,8 +674,8 @@ def _cmd_results(args: argparse.Namespace) -> int:
             )
             return 2
         return _cmd_registry_results(args)
-    if args.where:
-        print("--where requires --registry", file=sys.stderr)
+    if args.where or args.aggregate:
+        print("--where/--aggregate requires --registry", file=sys.stderr)
         return 2
     if not args.files:
         print("results: no history files given", file=sys.stderr)
@@ -447,6 +742,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "results":
         return _cmd_results(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "lint":
         from .lint.cli import cmd_lint
 

@@ -285,7 +285,9 @@ class FedPKD(FederatedAlgorithm):
     ) -> float:
         cfg = self.config
         prototypes = self.global_prototypes if cfg.server_prototype_loss else None
-        with self.tracer.span(
+        with self.obs.profile_stage("server_distill"), self.obs.profile_model(
+            "server"
+        ), self.tracer.span(
             "server_distill",
             scope="server",
             attrs={

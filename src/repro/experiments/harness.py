@@ -119,6 +119,7 @@ class ExperimentSetting:
     # observability (see repro.obs / docs/OBSERVABILITY.md)
     trace_path: Optional[str] = None
     metrics_path: Optional[str] = None
+    profile: bool = False
     # artifact root: relative checkpoint/trace/metrics paths resolve under
     # this directory, so a sweep (or any caller) can redirect a run's
     # artifacts without chdir tricks.  None keeps paths as given.
@@ -232,6 +233,7 @@ def federation_for(
         checkpoint_path=setting.resolve_artifact(setting.checkpoint_path),
         trace_path=setting.resolve_artifact(setting.trace_path),
         metrics_path=setting.resolve_artifact(setting.metrics_path),
+        profile=setting.profile,
     )
     return build_federation(bundle, config)
 

@@ -423,7 +423,7 @@ class AsyncRoundEngine:
                 algo.name, dataset=algo.bundle.name, config={"rounds": rounds}
             )
         tracer = algo.tracer
-        with tracer.span(
+        with algo.obs.profile_session(), tracer.span(
             "run",
             scope="run",
             attrs={
@@ -460,6 +460,7 @@ class AsyncRoundEngine:
                 # its budget (in-flight dispatches hold no client refs —
                 # arrival-time compute re-materialises on demand)
                 algo.federation.settle_clients()
+        algo.obs.publish_profile()
         algo.obs.export_metrics()
         return history
 

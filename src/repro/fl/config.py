@@ -132,6 +132,13 @@ class FederationConfig:
         or ``.csv``).  Setting either this or ``trace_path`` enables the
         metrics registry, whose snapshot is merged into each
         ``RoundRecord.extras``.
+    profile:
+        Enable the op-level substrate profiler (:mod:`repro.obs.profile`):
+        per-op wall time / estimated FLOPs / bytes, attributed per stage
+        and model architecture, exported as ``profile/*`` metric gauges
+        and ``profile``-scope trace events.  Profiling never perturbs
+        numerics — a profiled run's history matches the unprofiled one —
+        and the default (off) adds a single predicate check per op.
     """
 
     num_clients: int = 8
@@ -160,6 +167,7 @@ class FederationConfig:
     checkpoint_path: Optional[str] = None
     trace_path: Optional[str] = None
     metrics_path: Optional[str] = None
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:

@@ -89,8 +89,9 @@ class ClientModelStore:
 
     def save(
         self, client_id: int, model_state: Dict[str, np.ndarray], rng_state: dict
-    ) -> None:
-        """Atomically write one client's shard (tmp + ``os.replace``)."""
+    ) -> int:
+        """Atomically write one client's shard (tmp + ``os.replace``);
+        returns the shard size in bytes (the registry's obs gauge feed)."""
         blob = serialize_state(
             {str(k): np.asarray(v) for k, v in model_state.items()}, dtype=None
         )
@@ -106,6 +107,7 @@ class ClientModelStore:
         finally:
             if os.path.exists(tmp):
                 os.remove(tmp)
+        return 8 + len(rng_blob) + len(blob)
 
     def load(self, client_id: int) -> Tuple[Dict[str, np.ndarray], dict]:
         """Read one client's shard back: ``(model_state, rng_state)``."""
@@ -203,12 +205,36 @@ class ClientRegistry(Sequence):
         self._hydrations = 0
         self._evictions = 0
         self._spills = 0
+        # clean evictions remembered so the next derivation counts as a
+        # rebuild-from-seed rather than a first-touch materialisation
+        self._evicted_clean: set = set()
+        self._clean_rebuilds = 0
+        self._metrics = None
 
     # ------------------------------------------------------------------
     # cheap facts (no materialisation)
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._parts)
+
+    def attach_metrics(self, metrics) -> None:
+        """Publish registry churn under the ``registry/`` metric scope.
+
+        Counters: ``spill_writes``, ``hydrations``, ``clean_rebuilds``,
+        ``evictions``, ``shard_bytes``; gauges: ``live_set_size``,
+        ``dirty``.  ``repro trace summarize`` surfaces these alongside the
+        stage/op tables.  A disabled registry (or ``None``) is a no-op.
+        """
+        self._metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
+
+    def _update_gauges(self) -> None:
+        metrics = self._metrics
+        if metrics is None:
+            return
+        metrics.gauge("registry/live_set_size").set(len(self._live))
+        metrics.gauge("registry/dirty").set(len(self._dirty))
 
     @property
     def bounded(self) -> bool:
@@ -288,6 +314,14 @@ class ClientRegistry(Sequence):
             client.model.load_state_dict(state)
             client.set_rng_state(rng_state)
             self._hydrations += 1
+            self._evicted_clean.discard(client_id)
+            if self._metrics is not None:
+                self._metrics.counter("registry/hydrations").inc()
+        elif client_id in self._evicted_clean:
+            self._evicted_clean.discard(client_id)
+            self._clean_rebuilds += 1
+            if self._metrics is not None:
+                self._metrics.counter("registry/clean_rebuilds").inc()
         return client
 
     def _materialise(self, client_id: int) -> FLClient:
@@ -296,6 +330,7 @@ class ClientRegistry(Sequence):
             client = self._derive(client_id)
             self._live[client_id] = client
             self._materialisations += 1
+            self._update_gauges()
         else:
             self._live.move_to_end(client_id)
         return client
@@ -335,12 +370,23 @@ class ClientRegistry(Sequence):
         and dropping clean ones."""
         if self.max_live is None:
             return
+        metrics = self._metrics
         while len(self._live) > self.max_live:
             cid, client = self._live.popitem(last=False)
             if cid in self._dirty:
-                self.store.save(cid, client.model.state_dict(), client.rng_state())
+                nbytes = self.store.save(
+                    cid, client.model.state_dict(), client.rng_state()
+                )
                 self._spills += 1
+                if metrics is not None:
+                    metrics.counter("registry/spill_writes").inc()
+                    metrics.counter("registry/shard_bytes").inc(nbytes)
+            else:
+                self._evicted_clean.add(cid)
             self._evictions += 1
+            if metrics is not None:
+                metrics.counter("registry/evictions").inc()
+        self._update_gauges()
 
     # ------------------------------------------------------------------
     # checkpoint integration (see repro.fl.checkpoint)
@@ -379,7 +425,9 @@ class ClientRegistry(Sequence):
         restore starts from a clean slate)."""
         self._live.clear()
         self._dirty.clear()
+        self._evicted_clean.clear()
         self.store.clear()
+        self._update_gauges()
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -391,6 +439,7 @@ class ClientRegistry(Sequence):
             "dirty": len(self._dirty),
             "materialisations": self._materialisations,
             "hydrations": self._hydrations,
+            "clean_rebuilds": self._clean_rebuilds,
             "evictions": self._evictions,
             "spills": self._spills,
         }

@@ -73,6 +73,8 @@ class Federation:
         # observability must exist before bind(): executors read it there
         self.obs = obs if obs is not None else NULL_OBS
         self.channel.attach_metrics(self.obs.metrics)
+        if self.registry is not None:
+            self.registry.attach_metrics(self.obs.metrics)
         self.executor = (executor or SerialExecutor()).bind(self)
         # autosave defaults inherited by FederatedAlgorithm.run()
         self.checkpoint_every = checkpoint_every
@@ -372,14 +374,23 @@ class FederatedAlgorithm:
         self._pending_dropouts = int(state.get("dropouts", 0))
 
     def evaluate_server(self) -> float:
-        return self.server.evaluate(self.bundle.test.x, self.bundle.test.y)
+        with self.obs.profile_model("server"):
+            return self.server.evaluate(self.bundle.test.x, self.bundle.test.y)
 
     def evaluate_clients(self) -> List[float]:
         """Per-client ``C_acc`` — over everyone, or the federation's seeded
         per-round sample when ``eval_clients`` caps the evaluation cost.
         Clients with an empty local test set report NaN."""
         ids = self.federation.eval_client_ids(self.round_index)
-        return [self.federation.peek_client(cid).evaluate() for cid in ids]
+        prof = self.obs.profiler
+        if prof is None:
+            return [self.federation.peek_client(cid).evaluate() for cid in ids]
+        accs = []
+        for cid in ids:
+            client = self.federation.peek_client(cid)
+            with prof.model(getattr(client, "model_name", None)):
+                accs.append(client.evaluate())
+        return accs
 
     # ------------------------------------------------------------------
     # round bookkeeping shared by the sync loop and the async engine
@@ -415,7 +426,7 @@ class FederatedAlgorithm:
             extras.setdefault(f"time/{stage_name}", seconds)
         if self._pending_dropouts:
             extras.setdefault("runtime_dropouts", float(self._pending_dropouts))
-        with tracer.span(
+        with self.obs.profile_stage("eval"), tracer.span(
             "eval", scope="stage", attrs={"round": self.round_index}
         ) as eval_span:
             server_acc = self.evaluate_server()
@@ -510,7 +521,7 @@ class FederatedAlgorithm:
         # across the rounds between evaluations (and across an interrupted
         # run via pending_state), so each RoundRecord covers everything
         # since the previous record even when eval_every > 1
-        with tracer.span(
+        with self.obs.profile_session(), tracer.span(
             "run",
             scope="run",
             attrs={
@@ -542,5 +553,6 @@ class FederatedAlgorithm:
                 # round boundary: shrink the registry's live set back to
                 # its budget (references handed out above are now dead)
                 self.federation.settle_clients()
+        self.obs.publish_profile()
         self.obs.export_metrics()
         return history

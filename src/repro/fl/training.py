@@ -7,11 +7,13 @@ plus the loss-builder combinators the paper's equations need.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.loaders import batch_iterator
+from ..obs import profile as _profile
 from ..nn import losses as L
 from ..nn.layers import Module
 from ..nn.models import ClassifierModel
@@ -56,6 +58,13 @@ def train_with_loss(
     """
     if len(arrays) == 0 or len(arrays[0]) == 0:
         return 0.0
+    prof = _profile.ACTIVE
+    if prof is not None:
+        # attribute the loop's non-op glue (batch shuffling/slicing, Tensor
+        # construction, loss bookkeeping) that per-op hooks can't see, so
+        # the profiled table covers training wall time end to end
+        start = time.perf_counter()
+        before = prof.total_seconds()
     model.train()
     optimizer = make_optimizer(model, config)
     x, extras = arrays[0], tuple(arrays[1:])
@@ -72,6 +81,10 @@ def train_with_loss(
                 clip_grad_norm(model.parameters(), config.max_grad_norm)
             optimizer.step()
             last_epoch_losses.append(loss.item())
+    if prof is not None:
+        total = time.perf_counter() - start
+        inner = prof.total_seconds() - before
+        prof.record("train.glue", max(total - inner, 0.0))
     return float(np.mean(last_epoch_losses)) if last_epoch_losses else 0.0
 
 

@@ -170,6 +170,7 @@ _NP_ALLOC_FNS = {"full", "zeros", "ones", "empty"}
         "repro.core.prototypes",
         "repro.fl.client",
         "repro.fl.compression",
+        "repro.nn",
     ),
 )
 def check_implicit_float64_alloc(ctx):

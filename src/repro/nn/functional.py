@@ -8,10 +8,12 @@ Tensor primitives would be too slow.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple
 
 import numpy as np
 
+from ..obs import profile as _profile
 from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
@@ -143,6 +145,10 @@ def conv2d(
     if c != c_in:
         raise ValueError(f"conv2d channel mismatch: input {c} vs weight {c_in}")
 
+    # timed after padding so pad2d (profiled separately) isn't double-counted
+    prof = _profile.ACTIVE
+    start = time.perf_counter() if prof is not None else 0.0
+
     cols, out_h, out_w = _im2col(x.data, kh, kw, stride)
     w_mat = weight.data.reshape(c_out, -1)
     out_data = np.einsum("ok,nkp->nop", w_mat, cols, optimize=True)
@@ -153,27 +159,41 @@ def conv2d(
     parents = (x, weight) if bias is None else (x, weight, bias)
     requires = is_grad_enabled() and any(p.requires_grad for p in parents)
     if not requires:
-        return Tensor(out_data)
+        out = Tensor(out_data)
+    else:
 
-    def backward(grad: np.ndarray) -> None:
-        grad_mat = grad.reshape(n, c_out, out_h * out_w)
-        if weight.requires_grad:
-            dw = np.einsum("nop,nkp->ok", grad_mat, cols, optimize=True)
-            weight._accumulate(dw.reshape(weight.shape))
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(grad.sum(axis=(0, 2, 3)))
-        if x.requires_grad:
-            dcols = np.einsum("ok,nop->nkp", w_mat, grad_mat, optimize=True)
-            dx = _col2im(dcols, (n, c, h, w), kh, kw, stride, out_h, out_w)
-            x._accumulate(dx)
+        def backward(grad: np.ndarray) -> None:
+            grad_mat = grad.reshape(n, c_out, out_h * out_w)
+            if weight.requires_grad:
+                dw = np.einsum("nop,nkp->ok", grad_mat, cols, optimize=True)
+                weight._accumulate(dw.reshape(weight.shape))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2, 3)))
+            if x.requires_grad:
+                dcols = np.einsum("ok,nop->nkp", w_mat, grad_mat, optimize=True)
+                dx = _col2im(dcols, (n, c, h, w), kh, kw, stride, out_h, out_w)
+                x._accumulate(dx)
 
-    return Tensor(out_data, requires_grad=True, _parents=parents, _backward=backward)
+        out = Tensor(
+            out_data, requires_grad=True, _parents=parents, _backward=backward
+        )
+
+    if prof is not None:
+        # 2 * N * C_out * out_h * out_w * C_in * kh * kw multiply-adds
+        flops = 2.0 * n * c_out * out_h * out_w * c_in * kh * kw
+        prof.record(
+            "conv2d", time.perf_counter() - start, flops, out_data.nbytes
+        )
+        _profile.wrap_backward(out, "conv2d", 2.0 * flops)
+    return out
 
 
 def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
     """Max pooling over NCHW input with square window."""
     stride = stride or kernel_size
     n, c, h, w = x.shape
+    prof = _profile.ACTIVE
+    start = time.perf_counter() if prof is not None else 0.0
     cols, out_h, out_w = _im2col(
         x.data.reshape(n * c, 1, h, w), kernel_size, kernel_size, stride
     )
@@ -183,43 +203,68 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Ten
     out_data = out_data.reshape(n, c, out_h, out_w)
 
     if not (is_grad_enabled() and x.requires_grad):
-        return Tensor(out_data)
+        out = Tensor(out_data)
+    else:
 
-    def backward(grad: np.ndarray) -> None:
-        grad_flat = grad.reshape(n * c, 1, out_h * out_w)
-        dcols = np.zeros_like(cols)
-        np.put_along_axis(dcols, arg[:, None, :], grad_flat, axis=1)
-        dx = _col2im(
-            dcols, (n * c, 1, h, w), kernel_size, kernel_size, stride, out_h, out_w
+        def backward(grad: np.ndarray) -> None:
+            grad_flat = grad.reshape(n * c, 1, out_h * out_w)
+            dcols = np.zeros_like(cols)
+            np.put_along_axis(dcols, arg[:, None, :], grad_flat, axis=1)
+            dx = _col2im(
+                dcols, (n * c, 1, h, w), kernel_size, kernel_size, stride, out_h, out_w
+            )
+            x._accumulate(dx.reshape(n, c, h, w))
+
+        out = Tensor(
+            out_data, requires_grad=True, _parents=(x,), _backward=backward
         )
-        x._accumulate(dx.reshape(n, c, h, w))
 
-    return Tensor(out_data, requires_grad=True, _parents=(x,), _backward=backward)
+    if prof is not None:
+        # one comparison per window element: k*k per output element
+        flops = float(cols.size)
+        prof.record(
+            "max_pool2d", time.perf_counter() - start, flops, out_data.nbytes
+        )
+        _profile.wrap_backward(out, "max_pool2d", 2.0 * flops)
+    return out
 
 
 def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
     """Average pooling over NCHW input with square window."""
     stride = stride or kernel_size
     n, c, h, w = x.shape
+    prof = _profile.ACTIVE
+    start = time.perf_counter() if prof is not None else 0.0
     cols, out_h, out_w = _im2col(
         x.data.reshape(n * c, 1, h, w), kernel_size, kernel_size, stride
     )
     out_data = cols.mean(axis=1).reshape(n, c, out_h, out_w)
 
     if not (is_grad_enabled() and x.requires_grad):
-        return Tensor(out_data)
+        out = Tensor(out_data)
+    else:
+        k2 = kernel_size * kernel_size
 
-    k2 = kernel_size * kernel_size
+        def backward(grad: np.ndarray) -> None:
+            grad_flat = grad.reshape(n * c, 1, out_h * out_w)
+            dcols = np.broadcast_to(grad_flat / k2, cols.shape).copy()
+            dx = _col2im(
+                dcols, (n * c, 1, h, w), kernel_size, kernel_size, stride, out_h, out_w
+            )
+            x._accumulate(dx.reshape(n, c, h, w))
 
-    def backward(grad: np.ndarray) -> None:
-        grad_flat = grad.reshape(n * c, 1, out_h * out_w)
-        dcols = np.broadcast_to(grad_flat / k2, cols.shape).copy()
-        dx = _col2im(
-            dcols, (n * c, 1, h, w), kernel_size, kernel_size, stride, out_h, out_w
+        out = Tensor(
+            out_data, requires_grad=True, _parents=(x,), _backward=backward
         )
-        x._accumulate(dx.reshape(n, c, h, w))
 
-    return Tensor(out_data, requires_grad=True, _parents=(x,), _backward=backward)
+    if prof is not None:
+        # one add per window element: k*k per output element
+        flops = float(cols.size)
+        prof.record(
+            "avg_pool2d", time.perf_counter() - start, flops, out_data.nbytes
+        )
+        _profile.wrap_backward(out, "avg_pool2d", 2.0 * flops)
+    return out
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:

@@ -205,10 +205,14 @@ class _BatchNorm(Module):
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
-        self.weight = Tensor(np.ones(num_features), requires_grad=True)
-        self.bias = Tensor(np.zeros(num_features), requires_grad=True)
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.weight = Tensor(
+            np.ones(num_features, dtype=np.float64), requires_grad=True
+        )
+        self.bias = Tensor(
+            np.zeros(num_features, dtype=np.float64), requires_grad=True
+        )
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
 
     def _normalize(self, x: Tensor, axes: Tuple[int, ...], shape) -> Tensor:
         if self.training:

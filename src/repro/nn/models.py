@@ -78,7 +78,7 @@ class ClassifierModel(Module):
                 batch = Tensor(x[start : start + batch_size])
                 outputs.append(self.forward(batch).data)
         self.train(was_training)
-        return np.concatenate(outputs, axis=0) if outputs else np.zeros((0, self.num_classes))
+        return np.concatenate(outputs, axis=0) if outputs else np.zeros((0, self.num_classes), dtype=np.float64)
 
     def extract_features(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Return feature vectors for a raw numpy batch (eval mode, no grad)."""
@@ -92,7 +92,7 @@ class ClassifierModel(Module):
                 batch = Tensor(x[start : start + batch_size])
                 outputs.append(self.features(batch).data)
         self.train(was_training)
-        return np.concatenate(outputs, axis=0) if outputs else np.zeros((0, self.feature_dim))
+        return np.concatenate(outputs, axis=0) if outputs else np.zeros((0, self.feature_dim), dtype=np.float64)
 
 
 class MLPClassifier(ClassifierModel):

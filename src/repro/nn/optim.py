@@ -6,13 +6,42 @@ paper (Adam, lr=0.001) transfer directly.
 
 from __future__ import annotations
 
+import functools
+import time
 from typing import List, Optional
 
 import numpy as np
 
+from ..obs import profile as _profile
 from .tensor import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+def _profiled_step(op: str, flops_per_param: float):
+    """Profiling hook for ``Optimizer.step``.
+
+    The update rules are plain numpy (they bypass the Tensor graph), so
+    without this hook optimiser time would be invisible to the op-level
+    profiler.  ``flops_per_param`` is the estimated op count per scalar
+    parameter (see docs/OBSERVABILITY.md).  Free when profiling is off.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self):
+            prof = _profile.ACTIVE
+            if prof is None:
+                return fn(self)
+            start = time.perf_counter()
+            result = fn(self)
+            nparams = sum(p.data.size for p in self.params)
+            prof.record(op, time.perf_counter() - start, flops_per_param * nparams)
+            return result
+
+        return wrapper
+
+    return decorate
 
 
 class Optimizer:
@@ -74,6 +103,7 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
 
+    @_profiled_step("sgd.step", 4.0)
     def step(self) -> None:
         for i, p in enumerate(self.params):
             if p.grad is None:
@@ -125,6 +155,7 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
 
+    @_profiled_step("adam.step", 12.0)
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t

@@ -12,9 +12,13 @@ verified by finite-difference tests in ``tests/nn/test_autograd.py``.
 
 from __future__ import annotations
 
+import functools
+import time
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..obs import profile as _profile
 
 Scalar = Union[int, float]
 ArrayLike = Union[np.ndarray, Scalar, Sequence]
@@ -61,6 +65,57 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
+
+
+def _prof_op(op: str, flops="out"):
+    """Profiling hook for a Tensor op method.
+
+    When :data:`repro.obs.profile.ACTIVE` is unset (the default) the
+    wrapper falls straight through to the original method — no timing,
+    no allocation — so unprofiled runs are bit-identical by
+    construction.  When a profiler is active, the forward pass is timed
+    and recorded with an estimated FLOP count, and the output's backward
+    closure is wrapped so the backward pass is attributed to
+    ``"<op>.bwd"`` (see docs/OBSERVABILITY.md for the estimate
+    formulas).
+
+    ``flops`` selects the estimator: ``"out"`` (one op per output
+    element — elementwise math), ``"in"`` (one per input element —
+    reductions), a constant (``0`` for pure memory-movement ops), or a
+    callable ``(self, out) -> float`` for shape-dependent kernels.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            prof = _profile.ACTIVE
+            if prof is None:
+                return fn(self, *args, **kwargs)
+            start = time.perf_counter()
+            out = fn(self, *args, **kwargs)
+            seconds = time.perf_counter() - start
+            if out is self:  # no-op fast path (e.g. pad2d(0))
+                return out
+            if flops == "out":
+                nflops = out.data.size
+            elif flops == "in":
+                nflops = self.data.size
+            elif callable(flops):
+                nflops = flops(self, out)
+            else:
+                nflops = float(flops)
+            prof.record(op, seconds, nflops, out.data.nbytes)
+            _profile.wrap_backward(out, op, 2.0 * nflops)
+            return out
+
+        return wrapper
+
+    return decorate
+
+
+def _matmul_flops(a: "Tensor", out: "Tensor") -> float:
+    # (n, k) @ (k, m): 2*n*k*m multiply-adds; out.size is n*m
+    return 2.0 * a.shape[1] * out.data.size
 
 
 class Tensor:
@@ -167,6 +222,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # arithmetic
     # ------------------------------------------------------------------
+    @_prof_op("add")
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = self._lift(other)
         out_data = self.data + other.data
@@ -179,6 +235,7 @@ class Tensor:
 
     __radd__ = __add__
 
+    @_prof_op("neg")
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
@@ -191,6 +248,7 @@ class Tensor:
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return self._lift(other) + (-self)
 
+    @_prof_op("mul")
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = self._lift(other)
         out_data = self.data * other.data
@@ -203,6 +261,7 @@ class Tensor:
 
     __rmul__ = __mul__
 
+    @_prof_op("div")
     def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = self._lift(other)
         out_data = self.data / other.data
@@ -218,6 +277,7 @@ class Tensor:
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return self._lift(other) / self
 
+    @_prof_op("pow")
     def __pow__(self, exponent: Scalar) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("Tensor.__pow__ supports scalar exponents only")
@@ -228,6 +288,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
+    @_prof_op("matmul", _matmul_flops)
     def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = self._lift(other)
         if self.ndim != 2 or other.ndim != 2:
@@ -245,6 +306,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # elementwise nonlinearities
     # ------------------------------------------------------------------
+    @_prof_op("exp")
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
 
@@ -253,6 +315,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
+    @_prof_op("log")
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
 
@@ -264,6 +327,7 @@ class Tensor:
     def sqrt(self) -> "Tensor":
         return self**0.5
 
+    @_prof_op("tanh")
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
 
@@ -272,6 +336,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
+    @_prof_op("sigmoid")
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
 
@@ -280,6 +345,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
+    @_prof_op("relu")
     def relu(self) -> "Tensor":
         mask = self.data > 0
         out_data = self.data * mask
@@ -289,6 +355,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
+    @_prof_op("leaky_relu")
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
         scale = np.where(mask, 1.0, negative_slope)
@@ -299,6 +366,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
+    @_prof_op("abs")
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
         out_data = np.abs(self.data)
@@ -308,6 +376,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
+    @_prof_op("clip")
     def clip(self, low: float, high: float) -> "Tensor":
         mask = (self.data >= low) & (self.data <= high)
         out_data = np.clip(self.data, low, high)
@@ -320,6 +389,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # reductions
     # ------------------------------------------------------------------
+    @_prof_op("sum", "in")
     def sum(
         self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False
     ) -> "Tensor":
@@ -345,6 +415,7 @@ class Tensor:
             count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
         return self.sum(axis=axis, keepdims=keepdims) / count
 
+    @_prof_op("max", "in")
     def max(
         self, axis: Optional[int] = None, keepdims: bool = False
     ) -> "Tensor":
@@ -372,6 +443,7 @@ class Tensor:
     # ------------------------------------------------------------------
     # shape manipulation
     # ------------------------------------------------------------------
+    @_prof_op("reshape", 0)
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
@@ -383,6 +455,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
+    @_prof_op("transpose", 0)
     def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
         out_data = self.data.transpose(axes)
         if axes is None:
@@ -395,6 +468,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
+    @_prof_op("getitem", 0)
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
 
@@ -405,6 +479,7 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
+    @_prof_op("pad2d", 0)
     def pad2d(self, padding: int) -> "Tensor":
         """Zero-pad the last two (spatial) axes of an NCHW tensor."""
         if padding == 0:
@@ -453,6 +528,21 @@ class Tensor:
             Seed gradient.  Defaults to 1 for scalar tensors; required for
             non-scalar outputs.
         """
+        prof = _profile.ACTIVE
+        if prof is None:
+            self._backward_impl(grad)
+            return
+        # Attribute the pass machinery (topo sort, graph walk, grad
+        # accumulation glue) that per-op ``.bwd`` closures can't see, so
+        # the profiled op table covers backward wall time end to end.
+        start = time.perf_counter()
+        before = prof.total_seconds()
+        self._backward_impl(grad)
+        total = time.perf_counter() - start
+        inner = prof.total_seconds() - before
+        prof.record("backward.overhead", max(total - inner, 0.0))
+
+    def _backward_impl(self, grad: Optional[np.ndarray] = None) -> None:
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor without grad")
         if grad is None:

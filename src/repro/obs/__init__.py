@@ -31,6 +31,7 @@ from .metrics import (
     MetricsRegistry,
 )
 from .observability import NULL_OBS, Observability
+from .profile import OpProfiler, activate, wrap_backward
 from .schema import (
     MARKERS,
     METRIC_KINDS,
@@ -59,6 +60,9 @@ __all__ = [
     "DEFAULT_BYTE_BUCKETS",
     "Observability",
     "NULL_OBS",
+    "OpProfiler",
+    "activate",
+    "wrap_backward",
     "SCHEMA_VERSION",
     "RECORD_TYPES",
     "SCOPES",

@@ -13,7 +13,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+from contextlib import nullcontext
+
 from .metrics import MetricsRegistry
+from .profile import OpProfiler, activate
 from .tracer import NullTracer, Tracer
 
 __all__ = ["Observability", "NULL_OBS"]
@@ -27,12 +30,14 @@ class Observability:
         tracer=None,
         metrics: Optional[MetricsRegistry] = None,
         metrics_path: Optional[str] = None,
+        profiler: Optional[OpProfiler] = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else NullTracer()
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry(enabled=False)
         )
         self.metrics_path = metrics_path
+        self.profiler = profiler
 
     # ------------------------------------------------------------------
     # construction
@@ -47,10 +52,12 @@ class Observability:
         """
         trace_path = getattr(config, "trace_path", None)
         metrics_path = getattr(config, "metrics_path", None)
-        if not trace_path and not metrics_path:
+        profile = bool(getattr(config, "profile", False))
+        if not trace_path and not metrics_path and not profile:
             return cls.disabled()
         tracer = Tracer(trace_path) if trace_path else NullTracer()
-        return cls(tracer, MetricsRegistry(enabled=True), metrics_path)
+        profiler = OpProfiler() if profile else None
+        return cls(tracer, MetricsRegistry(enabled=True), metrics_path, profiler)
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -61,7 +68,11 @@ class Observability:
     # ------------------------------------------------------------------
     @property
     def enabled(self) -> bool:
-        return bool(self.tracer) or self.metrics.enabled
+        return (
+            bool(self.tracer)
+            or self.metrics.enabled
+            or self.profiler is not None
+        )
 
     def __bool__(self) -> bool:
         return self.enabled
@@ -78,12 +89,48 @@ class Observability:
         attrs = {} if round_index is None else {"round_index": int(round_index)}
         self.tracer.set_resume(attrs)
 
+    # ------------------------------------------------------------------
+    # profiling
+    # ------------------------------------------------------------------
+    def profile_session(self):
+        """Activate this bundle's profiler for the duration of the block.
+
+        A no-op (``nullcontext``) when profiling is off, so engines can
+        wrap their run loops unconditionally.
+        """
+        if self.profiler is None:
+            return nullcontext()
+        return activate(self.profiler)
+
+    def profile_stage(self, name: str):
+        """Attribute profiled ops inside the block to stage ``name``."""
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.stage(name)
+
+    def profile_model(self, name) -> object:
+        """Attribute profiled ops inside the block to model ``name``."""
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.model(name)
+
+    def publish_profile(self) -> None:
+        """Export the profiler aggregate into metrics gauges + trace events.
+
+        Idempotent per aggregate state: gauges are overwritten and trace
+        consumers keep the last ``profile/op`` event per key, so engines
+        can publish at the end of every ``run()`` call.
+        """
+        if self.profiler is not None and len(self.profiler):
+            self.profiler.publish(metrics=self.metrics, tracer=self.tracer)
+
     def export_metrics(self) -> None:
         """Write the registry to ``metrics_path`` (atomic full rewrite)."""
         if self.metrics_path and self.metrics.enabled:
             self.metrics.export(self.metrics_path)
 
     def close(self) -> None:
+        self.publish_profile()
         self.export_metrics()
         self.tracer.close()
 

@@ -56,7 +56,16 @@ RECORD_TYPES = ("span", "event", "marker")
 #: Granularity levels of spans/events, outermost first.  ``engine`` covers
 #: the async round engine's dispatch/arrival/fault events
 #: (:mod:`repro.fl.async_engine`).
-SCOPES = ("run", "round", "stage", "client", "server", "checkpoint", "engine")
+SCOPES = (
+    "run",
+    "round",
+    "stage",
+    "client",
+    "server",
+    "checkpoint",
+    "engine",
+    "profile",
+)
 
 #: Allowed marker names.
 MARKERS = ("run_start", "resume", "run_end")

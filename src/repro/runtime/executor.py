@@ -28,6 +28,7 @@ import os
 import time
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from contextlib import nullcontext
 from concurrent.futures import TimeoutError as FuturesTimeout
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -98,6 +99,13 @@ class Executor:
     # ------------------------------------------------------------------
     # observability hooks (all no-ops unless the run is instrumented)
     # ------------------------------------------------------------------
+    def _profile_stage(self, stage: str):
+        """Stage-attribution context for the op profiler (no-op when off)."""
+        profiler = self._obs.profiler
+        if profiler is None:
+            return nullcontext()
+        return profiler.stage(stage)
+
     def _stage_span(self, stage: str, num_clients: int):
         return self._obs.tracer.span(
             "stage",
@@ -163,7 +171,8 @@ class Executor:
     def _run_inline(self, client, method: str, kwargs: Optional[dict]) -> TaskResult:
         """Execute one stage entry directly on the driver's client object."""
         start = time.perf_counter()
-        value = getattr(client, method)(**self._resolve_inline_kwargs(kwargs))
+        with self._obs.profile_model(getattr(client, "model_name", None)):
+            value = getattr(client, method)(**self._resolve_inline_kwargs(kwargs))
         return TaskResult(
             client_id=client.client_id,
             value=value,
@@ -180,7 +189,7 @@ class SerialExecutor(Executor):
         stage = stage or method
         clients = list(clients)
         start = time.perf_counter()
-        with self._stage_span(stage, len(clients)):
+        with self._stage_span(stage, len(clients)), self._profile_stage(stage):
             results = [self._run_inline(c, method, kwargs) for c in clients]
             self._publish_outcomes(stage, results)
         self._record_time(stage, time.perf_counter() - start)
@@ -303,16 +312,19 @@ class ParallelExecutor(Executor):
             state_blob=serialize_state(client.model.state_dict(), dtype=None),
             rng_state=client.rng_state(),
             stage=stage,
+            profile=self._obs.profiler is not None,
         )
 
     def _apply_result(self, client, result: TaskResult) -> None:
-        """Fold a worker's state back into the driver's client."""
+        """Fold a worker's state (and profile aggregate) back into the driver."""
         if result.state_blob is not None:
             client.model.load_state_dict(
                 deserialize_state(result.state_blob, dtype=None)
             )
         if result.rng_state is not None:
             client.set_rng_state(result.rng_state)
+        if result.profile and self._obs.profiler is not None:
+            self._obs.profiler.merge(result.profile)
 
     # ------------------------------------------------------------------
     # the stage
@@ -333,13 +345,15 @@ class ParallelExecutor(Executor):
                     RuntimeWarning,
                 )
                 self._warned_inline = True
-            with self._stage_span(stage, len(clients)):
+            with self._stage_span(stage, len(clients)), self._profile_stage(
+                stage
+            ):
                 results = [self._run_inline(c, method, kwargs) for c in clients]
                 self._publish_outcomes(stage, results)
             self._record_time(stage, time.perf_counter() - start)
             return [r.value for r in results], []
 
-        with self._stage_span(stage, len(clients)):
+        with self._stage_span(stage, len(clients)), self._profile_stage(stage):
             tasks = [
                 self._make_task(c, method, dict(kwargs or {}), stage)
                 for c in clients

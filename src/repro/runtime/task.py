@@ -81,6 +81,9 @@ class ClientTask:
     state_blob: bytes = b""
     rng_state: Optional[dict] = None
     stage: str = ""
+    # ask the worker to run its own OpProfiler around the task and ship
+    # the aggregate back in TaskResult.profile (repro.obs.profile)
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.method not in TASK_METHODS:
@@ -103,6 +106,9 @@ class TaskResult:
     state_blob: Optional[bytes] = None
     rng_state: Optional[dict] = None
     duration_s: float = 0.0
+    # worker-local OpProfiler aggregate (OpProfiler.to_payload form),
+    # merged into the driver profiler by ParallelExecutor._apply_result
+    profile: Optional[Dict[str, Any]] = None
 
 
 @dataclass

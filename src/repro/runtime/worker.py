@@ -85,7 +85,14 @@ def resolve_kwargs(kwargs: dict, shared: Dict[str, np.ndarray]) -> dict:
 
 
 def run_task(task: ClientTask) -> TaskResult:
-    """Execute one task against the worker's cached client."""
+    """Execute one task against the worker's cached client.
+
+    With ``task.profile`` set, the method runs under a worker-local
+    :class:`~repro.obs.profile.OpProfiler` (attributed to the task's
+    stage and the client's model) whose aggregate ships back in
+    ``TaskResult.profile`` for the driver to merge — per-op attribution
+    survives process-pool dispatch.
+    """
     if FAULT_HOOK is not None:
         FAULT_HOOK(task)
     start = time.perf_counter()
@@ -94,7 +101,21 @@ def run_task(task: ClientTask) -> TaskResult:
         client.model.load_state_dict(deserialize_state(task.state_blob, dtype=None))
     if task.rng_state is not None:
         client.rng.bit_generator.state = task.rng_state
-    value = getattr(client, task.method)(**resolve_kwargs(task.kwargs, _SHARED))
+    kwargs = resolve_kwargs(task.kwargs, _SHARED)
+    profile_payload = None
+    if task.profile:
+        from ..obs.profile import OpProfiler, activate
+
+        profiler = OpProfiler()
+        spec = _SPECS.get(task.client_id)
+        model_name = spec.model_name if spec is not None else None
+        with activate(profiler), profiler.stage(
+            task.stage or task.method
+        ), profiler.model(model_name):
+            value = getattr(client, task.method)(**kwargs)
+        profile_payload = profiler.to_payload()
+    else:
+        value = getattr(client, task.method)(**kwargs)
     state_blob = (
         serialize_state(client.model.state_dict(), dtype=None)
         if task.mutates
@@ -106,4 +127,5 @@ def run_task(task: ClientTask) -> TaskResult:
         state_blob=state_blob,
         rng_state=client.rng.bit_generator.state,
         duration_s=time.perf_counter() - start,
+        profile=profile_payload,
     )

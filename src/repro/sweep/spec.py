@@ -88,6 +88,7 @@ _RUNTIME_SETTING_FIELDS = (
     "task_timeout_s",
     "retry_backoff_s",
     "max_live_clients",
+    "profile",
 )
 _EXTRA_FIELDS = ("algorithm", "rounds", "eval_every")
 _ALLOWED_FIELDS = _KEY_SETTING_FIELDS + _RUNTIME_SETTING_FIELDS + _EXTRA_FIELDS

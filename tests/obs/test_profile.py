@@ -1,0 +1,187 @@
+"""Unit tests for the op-level profiler (repro.obs.profile)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.functional import conv2d
+from repro.nn.optim import SGD
+from repro.obs import MetricsRegistry, OpProfiler, Tracer, activate
+from repro.obs.profile import ACTIVE, UNATTRIBUTED, wrap_backward
+from repro.obs import profile as profile_mod
+
+
+class TestOpProfiler:
+    def test_record_accumulates_per_key(self):
+        prof = OpProfiler()
+        prof.record("matmul", 0.5, flops=100.0, nbytes=8.0)
+        prof.record("matmul", 0.25, flops=50.0, nbytes=4.0)
+        (row,) = prof.rows()
+        assert row["op"] == "matmul"
+        assert row["calls"] == 2
+        assert row["seconds"] == pytest.approx(0.75)
+        assert row["flops"] == pytest.approx(150.0)
+        assert row["bytes"] == pytest.approx(12.0)
+        assert row["stage"] == UNATTRIBUTED
+        assert row["model"] == UNATTRIBUTED
+
+    def test_stage_and_model_contexts_nest(self):
+        prof = OpProfiler()
+        with prof.stage("local_train"), prof.model("mlp_small"):
+            prof.record("add", 1.0)
+            with prof.stage("inner"):
+                prof.record("add", 1.0)
+        prof.record("add", 1.0)
+        keys = {(r["stage"], r["model"]) for r in prof.rows()}
+        assert keys == {
+            ("local_train", "mlp_small"),
+            ("inner", "mlp_small"),
+            (UNATTRIBUTED, UNATTRIBUTED),
+        }
+
+    def test_merge_folds_worker_payload(self):
+        a, b = OpProfiler(), OpProfiler()
+        with a.stage("s"), a.model("m"):
+            a.record("op", 1.0, flops=10.0)
+        with b.stage("s"), b.model("m"):
+            b.record("op", 2.0, flops=20.0)
+        with b.stage("other"):
+            b.record("op", 5.0)
+        a.merge(b.to_payload())
+        rows = {(r["stage"], r["op"]): r for r in a.rows()}
+        assert rows[("s", "op")]["seconds"] == pytest.approx(3.0)
+        assert rows[("s", "op")]["flops"] == pytest.approx(30.0)
+        assert rows[("s", "op")]["calls"] == 2  # merge sums call counts
+        assert rows[("other", "op")]["seconds"] == pytest.approx(5.0)
+        a.merge(None)  # no-op
+        a.merge({})
+
+    def test_stage_seconds_and_total(self):
+        prof = OpProfiler()
+        with prof.stage("x"):
+            prof.record("a", 1.0)
+            prof.record("b", 2.0)
+        with prof.stage("y"):
+            prof.record("a", 4.0)
+        assert prof.stage_seconds() == {"x": pytest.approx(3.0), "y": pytest.approx(4.0)}
+        assert prof.total_seconds() == pytest.approx(7.0)
+        assert len(prof) == 3
+        prof.reset()
+        assert len(prof) == 0
+
+    def test_publish_writes_gauges_and_events(self, tmp_path):
+        prof = OpProfiler()
+        with prof.stage("local_train"), prof.model("mlp_small"):
+            prof.record("matmul", 0.5, flops=100.0, nbytes=64.0)
+        metrics = MetricsRegistry(enabled=True)
+        trace_path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(trace_path)
+        prof.publish(metrics=metrics, tracer=tracer)
+        tracer.close()
+        snap = metrics.snapshot()
+        base = "profile/local_train/mlp_small/matmul"
+        assert snap[f"{base}/calls"] == 1.0
+        assert snap[f"{base}/seconds"] == pytest.approx(0.5)
+        assert snap[f"{base}/flops"] == 100.0
+        assert snap[f"{base}/bytes"] == 64.0
+        import json
+
+        events = [
+            json.loads(line) for line in open(trace_path) if line.strip()
+        ]
+        ops = [e for e in events if e.get("name") == "profile/op"]
+        assert len(ops) == 1
+        assert ops[0]["scope"] == "profile"
+        assert ops[0]["attrs"]["op"] == "matmul"
+
+
+class TestActivation:
+    def test_activate_stacks_and_restores(self):
+        outer, inner = OpProfiler(), OpProfiler()
+        assert profile_mod.ACTIVE is None
+        with activate(outer):
+            assert profile_mod.ACTIVE is outer
+            with activate(inner):
+                assert profile_mod.ACTIVE is inner
+            assert profile_mod.ACTIVE is outer
+        assert profile_mod.ACTIVE is None
+
+    def test_tensor_ops_recorded_when_active(self):
+        prof = OpProfiler()
+        with activate(prof):
+            a = Tensor(np.ones((4, 3)), requires_grad=True)
+            b = Tensor(np.ones((3, 2)), requires_grad=True)
+            out = (a @ b).sum()
+            out.backward()
+        ops = {r["op"] for r in prof.rows()}
+        assert "matmul" in ops
+        assert "matmul.bwd" in ops
+        assert "sum" in ops
+        assert "backward.overhead" in ops
+        row = next(r for r in prof.rows() if r["op"] == "matmul")
+        # 2 * n * k * m = 2 * 4 * 3 * 2
+        assert row["flops"] == pytest.approx(48.0)
+
+    def test_conv2d_flops_estimate(self):
+        prof = OpProfiler()
+        with activate(prof):
+            x = Tensor(np.ones((1, 2, 5, 5)), requires_grad=True)
+            w = Tensor(np.ones((3, 2, 3, 3)), requires_grad=True)
+            conv2d(x, w).sum().backward()
+        row = next(r for r in prof.rows() if r["op"] == "conv2d")
+        # 2 * N * C_out * oh * ow * C_in * kh * kw = 2*1*3*3*3*2*3*3
+        assert row["flops"] == pytest.approx(972.0)
+        assert row["bytes"] == 1 * 3 * 3 * 3 * 8
+        assert any(r["op"] == "conv2d.bwd" for r in prof.rows())
+
+    def test_optimizer_step_recorded(self):
+        prof = OpProfiler()
+        p = Tensor(np.ones(10), requires_grad=True)
+        p.grad = np.ones(10)
+        opt = SGD([p], lr=0.1)
+        with activate(prof):
+            opt.step()
+        row = next(r for r in prof.rows() if r["op"] == "sgd.step")
+        assert row["flops"] == pytest.approx(40.0)  # 4 per param
+
+    def test_no_recording_when_inactive(self):
+        before = profile_mod.ACTIVE
+        assert before is None
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        out = (a * 2.0).sum()
+        out.backward()  # exercises hooks with ACTIVE None
+        assert a.grad is not None
+
+    def test_backward_outside_session_unrecorded(self):
+        """wrap_backward re-checks ACTIVE when the closure fires."""
+        prof = OpProfiler()
+        with activate(prof):
+            a = Tensor(np.ones((2, 2)), requires_grad=True)
+            out = a.relu().sum()
+        out.backward()  # fires after the session closed
+        ops = {r["op"] for r in prof.rows()}
+        assert "relu" in ops
+        assert "relu.bwd" not in ops
+
+
+class TestNumericNeutrality:
+    def test_profiled_training_is_bit_identical(self):
+        """Profiling must not perturb values, dtypes, or RNG streams."""
+
+        def run_once(profiled):
+            rng = np.random.default_rng(0)
+            x = Tensor(rng.normal(size=(8, 4)))
+            w = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+            opt = SGD([w], lr=0.1)
+            for _ in range(3):
+                loss = ((x @ w).tanh() ** 2).sum()
+                w.zero_grad()
+                loss.backward()
+                opt.step()
+            return w.data.copy()
+
+        baseline = run_once(profiled=False)
+        with activate(OpProfiler()):
+            profiled = run_once(profiled=True)
+        assert profiled.dtype == baseline.dtype
+        np.testing.assert_array_equal(profiled, baseline)

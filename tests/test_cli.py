@@ -161,6 +161,57 @@ class TestResultsCommand:
         assert main(["results", str(bad)]) == 2
         assert "cannot read history" in capsys.readouterr().err
 
+    def test_aggregate_requires_registry(self, capsys):
+        assert main(["results", "--aggregate", "seed", "x.json"]) == 2
+        assert "requires --registry" in capsys.readouterr().err
+
+
+class TestAggregateBySeed:
+    def _record(self, seed, acc, algorithm="fedpkd"):
+        return {
+            "run_key": f"{algorithm}-{seed}",
+            "sweep": "s",
+            "status": "completed",
+            "label": f"{algorithm}/cifar10/dir0.5/s{seed}",
+            "rounds": 2,
+            "final_server_acc": acc,
+            "best_server_acc": acc,
+            "final_client_acc": acc / 2,
+            "comm_mb": 1.0,
+            "config": {
+                "algorithm": algorithm,
+                "setting": {"dataset": "cifar10", "seed": seed},
+                "rounds": 2,
+            },
+        }
+
+    def test_groups_across_seeds_only(self):
+        from repro.cli import _aggregate_by_seed
+
+        rows = _aggregate_by_seed(
+            [
+                self._record(0, 0.4),
+                self._record(1, 0.6),
+                self._record(0, 0.8, algorithm="fedproto"),
+            ]
+        )
+        assert len(rows) == 2
+        by_label = {r["label"]: r for r in rows}
+        pkd = by_label["fedpkd/cifar10/dir0.5"]
+        assert pkd["n_seeds"] == 2
+        assert pkd["final_server_acc"].startswith("0.500±")
+        proto = by_label["fedproto/cifar10/dir0.5"]
+        assert proto["n_seeds"] == 1
+        assert proto["final_server_acc"] == "0.800±0.000"
+
+    def test_none_values_become_na(self):
+        from repro.cli import _aggregate_by_seed
+
+        record = self._record(0, 0.4)
+        record["final_server_acc"] = None
+        (row,) = _aggregate_by_seed([record])
+        assert row["final_server_acc"] == "N/A"
+
 
 class TestObservabilityFlags:
     def test_run_with_trace_and_metrics(self, tmp_path, capsys):
