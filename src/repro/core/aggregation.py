@@ -160,7 +160,9 @@ def staleness_discounted_aggregate(
         with np.errstate(invalid="ignore", divide="ignore"):
             base = np.where(totals > 0, confidence / totals, 1.0 / num_clients)
     else:
-        base = np.full((num_clients, num_samples), 1.0 / num_clients)
+        base = np.full(
+            (num_clients, num_samples), 1.0 / num_clients, dtype=np.float64
+        )
     mixed = base * weights[:, None]  # (C, S)
     totals = mixed.sum(axis=0, keepdims=True)  # (1, S)
     # a column can zero out when the only confident clients are weighted to

@@ -1,0 +1,135 @@
+"""Incremental lint cache: mtime fast-path, content-hash slow-path.
+
+Per file the cache stores the **module-local** analysis products — the
+syntactic findings, the suppression count, and the flow summary
+(:mod:`repro.lint.flow.summary`).  Whole-program propagation is *never*
+cached: it is rebuilt from summaries on every pass, so a warm run is
+guaranteed to produce the same flow findings as a cold one — the cache
+can only skip work whose inputs are provably unchanged, not change
+results.
+
+Validation is two-tier: ``st_mtime_ns + st_size`` matching the stored
+entry skips even reading the file; on mtime mismatch the content hash
+decides (a ``touch`` re-validates cheaply and the entry's stat is
+refreshed in place).  The whole cache is keyed by a *signature* of the
+rule set and the analysis versions — any mismatch discards every entry,
+so schema or rule changes can never replay stale findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Sequence
+
+from .flow.summary import SUMMARY_VERSION
+
+__all__ = ["CACHE_VERSION", "LintCache", "cache_signature", "content_hash"]
+
+CACHE_VERSION = 1
+
+
+def cache_signature(rules: Sequence) -> str:
+    """Hash of everything that could change a cached per-file record."""
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "summary_version": SUMMARY_VERSION,
+        "rules": sorted(
+            (rule.id, rule.severity, rule.requires_project) for rule in rules
+        ),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class LintCache:
+    """A JSON-backed per-file record store for one lint configuration."""
+
+    def __init__(self, path: str, signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        self.entries: Dict[str, dict] = {}
+        self.dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != CACHE_VERSION
+            or data.get("signature") != self.signature
+        ):
+            return
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    # ------------------------------------------------------------------
+    def get(self, display: str) -> Optional[dict]:
+        return self.entries.get(display)
+
+    def touch(self, display: str, mtime_ns: int, size: int) -> None:
+        """Refresh stat info after a content-hash revalidation."""
+        entry = self.entries.get(display)
+        if entry is not None:
+            entry["mtime_ns"] = mtime_ns
+            entry["size"] = size
+            self.dirty = True
+
+    def put(
+        self,
+        display: str,
+        sha256: str,
+        mtime_ns: int,
+        size: int,
+        record: dict,
+    ) -> None:
+        self.entries[display] = {
+            "sha256": sha256,
+            "mtime_ns": mtime_ns,
+            "size": size,
+            "record": record,
+        }
+        self.dirty = True
+
+    def prune(self, keep: Sequence[str]) -> None:
+        """Drop entries for files no longer part of the linted set."""
+        wanted = set(keep)
+        stale = [display for display in self.entries if display not in wanted]
+        for display in stale:
+            del self.entries[display]
+            self.dirty = True
+
+    def save(self) -> None:
+        if not self.dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "signature": self.signature,
+            "entries": self.entries,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".reprolint-cache.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(payload, f, sort_keys=True)
+            os.replace(tmp_path, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+        else:
+            self.dirty = False
+
+
+def content_hash(source_bytes: bytes) -> str:
+    return hashlib.sha256(source_bytes).hexdigest()

@@ -6,7 +6,16 @@ Two modes behind one entrypoint:
 
       repro lint src/ --baseline .reprolint-baseline.json
       repro lint src/ --format json
+      repro lint src/ --format sarif > reprolint.sarif
+      repro lint src/ --changed            # findings in changed files only
+      repro lint src/ --baseline .reprolint-baseline.json --prune-baseline
       repro lint src/ --write-baseline .reprolint-baseline.json
+
+  A per-file incremental cache (``.reprolint-cache.json``; override with
+  ``--cache PATH``, disable with ``--no-cache``) makes warm passes skip
+  parsing/summarising unchanged files — flow findings are recomputed
+  from cached summaries every pass, so results never depend on cache
+  state.
 
 - trace validation (``--traces``): the files are JSONL traces, checked
   against the :mod:`repro.obs` schema::
@@ -20,14 +29,18 @@ Exit codes: 0 clean, 1 findings/validation failures, 2 usage errors.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from .baseline import Baseline
+from .cache import LintCache, cache_signature
 from .engine import LintEngine
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 
 __all__ = ["add_lint_parser", "cmd_lint", "main"]
+
+DEFAULT_CACHE_PATH = ".reprolint-cache.json"
 
 
 def _csv(value: str) -> List[str]:
@@ -59,8 +72,13 @@ def add_lint_parser(sub) -> argparse.ArgumentParser:
         help="write all current findings to PATH as the new baseline and exit 0",
     )
     lint_p.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite --baseline with stale entries removed, then report as usual",
+    )
+    lint_p.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         dest="output_format",
         help="report format (default: text)",
@@ -71,6 +89,23 @@ def add_lint_parser(sub) -> argparse.ArgumentParser:
         default=None,
         metavar="R1,R2",
         help="run only these rule ids",
+    )
+    lint_p.add_argument(
+        "--cache",
+        default=DEFAULT_CACHE_PATH,
+        metavar="PATH",
+        help=f"incremental cache file (default: {DEFAULT_CACHE_PATH})",
+    )
+    lint_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache for this run",
+    )
+    lint_p.add_argument(
+        "--changed",
+        action="store_true",
+        help="report findings only in files changed per git (working tree "
+        "vs HEAD, plus untracked); the whole program is still analysed",
     )
     lint_p.add_argument(
         "--verbose",
@@ -129,9 +164,36 @@ def _cmd_traces(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _git_changed_files() -> Set[str]:
+    """Display paths (relative, ``/``-separated) git considers changed."""
+    changed: Set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, check=True
+        )
+        changed.update(
+            line.strip()
+            for line in proc.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return changed
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     if args.traces:
         return _cmd_traces(args)
+
+    if args.prune_baseline and not args.baseline:
+        print("--prune-baseline requires --baseline", file=sys.stderr)
+        return 2
+    if args.prune_baseline and args.changed:
+        # --changed sees only part of the program's findings, so every
+        # entry elsewhere would look stale and pruning would eat them
+        print("--prune-baseline cannot be combined with --changed", file=sys.stderr)
+        return 2
 
     engine = LintEngine()
     if args.rules:
@@ -148,8 +210,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"cannot read baseline '{args.baseline}': {exc}", file=sys.stderr)
         return 2
 
+    report_only: Optional[Set[str]] = None
+    if args.changed:
+        try:
+            report_only = _git_changed_files()
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(f"--changed needs a git checkout: {exc}", file=sys.stderr)
+            return 2
+
+    cache = None
+    if not args.no_cache:
+        cache = LintCache(args.cache, cache_signature(engine.rules))
+
     try:
-        result = engine.lint_paths(args.paths, baseline=baseline)
+        result = engine.lint_paths(
+            args.paths, baseline=baseline, cache=cache, report_only=report_only
+        )
     except OSError as exc:
         print(f"cannot lint: {exc}", file=sys.stderr)
         return 2
@@ -165,8 +241,23 @@ def cmd_lint(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.prune_baseline:
+        stale_keys = {entry.key() for entry in result.stale_baseline}
+        kept = [e for e in baseline.entries if e.key() not in stale_keys]
+        removed = len(baseline.entries) - len(kept)
+        if removed:
+            baseline.entries = kept
+            baseline.save(args.baseline)
+        print(
+            f"pruned {removed} stale entr{'y' if removed == 1 else 'ies'} "
+            f"from {args.baseline} ({len(kept)} kept)"
+        )
+        result.stale_baseline = []
+
     if args.output_format == "json":
         print(render_json(result))
+    elif args.output_format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result, verbose=args.verbose))
     return 0 if result.ok else 1

@@ -4,9 +4,23 @@ Zero third-party dependencies — parsing is stdlib :mod:`ast`, so the
 engine analyses exactly what CPython would execute and never needs the
 code imported (fixture files with deliberate violations stay inert).
 
-Flow per file: parse → build a :class:`ModuleContext` → run every rule
-whose package scope covers the module → drop findings suppressed by
-``# lint: disable`` pragmas.  Baseline application is a separate step
+Two rule tiers run per pass:
+
+- **syntactic** rules see one parsed module at a time (``ctx.tree``);
+  their findings are cacheable per file because nothing outside the
+  file can change them;
+- **flow** rules (``requires_project=True``) run once all files are
+  summarised, against the :class:`~repro.lint.flow.ProjectModel`;
+  their findings depend on the whole program and are recomputed every
+  pass — the incremental cache only skips the per-file parse/summarise
+  step, never the global propagation, so warm results are identical to
+  cold ones by construction.
+
+Suppression: a ``# lint: disable`` pragma suppresses a finding if it
+sits on any *candidate line* of the flagged construct — the anchor line,
+any line of a multi-line simple statement, or the ``def``/decorator
+lines of a function — so decorating or wrapping a statement never
+strands a pragma.  Baseline application is a separate step
 (:meth:`repro.lint.baseline.Baseline.apply`) so callers can distinguish
 *new* findings from *grandfathered* ones.
 """
@@ -16,10 +30,12 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from .baseline import Baseline, BaselineEntry
+from .cache import LintCache, content_hash
 from .findings import Finding
+from .flow import ProjectModel, summarize_module
 from .pragmas import PragmaIndex
 from .registry import Rule, all_rules
 
@@ -46,13 +62,19 @@ def module_name_for(path: str) -> str:
 
 @dataclass
 class ModuleContext:
-    """Everything a rule needs to inspect one module."""
+    """Everything a rule needs to inspect one module.
+
+    For flow rules replayed from cached summaries, ``source`` is empty
+    and ``tree`` is None — only ``module``, ``path`` and ``project`` are
+    meaningful, which is all a ``requires_project`` rule may touch.
+    """
 
     path: str
     module: str
     source: str
-    tree: ast.AST
+    tree: Optional[ast.AST]
     lines: List[str] = field(default_factory=list)
+    project: Optional[ProjectModel] = None
 
     @classmethod
     def from_source(
@@ -80,6 +102,8 @@ class LintResult:
     baselined: List[Finding] = field(default_factory=list)
     stale_baseline: List[BaselineEntry] = field(default_factory=list)
     files: int = 0
+    cache_hits: int = 0
+    reanalysed: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -110,8 +134,45 @@ def _iter_py_files(paths: Sequence[str]) -> Iterable[str]:
 
 def _position(node) -> Tuple[int, int]:
     if isinstance(node, tuple):
-        return node
+        return node[0], node[1]
     return getattr(node, "lineno", 1), getattr(node, "col_offset", 0)
+
+
+_HEADER_ONLY_STMTS = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.If,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+)
+
+
+def _pragma_lines(node) -> List[int]:
+    """Candidate lines on which a pragma suppresses this finding.
+
+    - position tuples: the anchor line plus any extra lines the rule
+      supplied as a third element (flow rules pass the statement span);
+    - functions/classes: the ``def``/``class`` line and every decorator
+      line, so ``# lint: disable`` above a decorated function works;
+    - compound statements: the header line only (a pragma inside the
+      body should not silence the header);
+    - everything else: the node's full line span, so a pragma on any
+      physical line of a multi-line statement counts.
+    """
+    if isinstance(node, tuple):
+        lines = [node[0]]
+        if len(node) > 2:
+            lines.extend(int(line) for line in node[2])
+        return lines
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return [node.lineno] + [dec.lineno for dec in node.decorator_list]
+    if isinstance(node, _HEADER_ONLY_STMTS):
+        return [node.lineno]
+    lineno = getattr(node, "lineno", 1)
+    end = getattr(node, "end_lineno", None) or lineno
+    return list(range(lineno, end + 1))
 
 
 class LintEngine:
@@ -125,6 +186,14 @@ class LintEngine:
         self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
         self.root = root or os.getcwd()
 
+    @property
+    def syntactic_rules(self) -> List[Rule]:
+        return [rule for rule in self.rules if not rule.requires_project]
+
+    @property
+    def flow_rules(self) -> List[Rule]:
+        return [rule for rule in self.rules if rule.requires_project]
+
     # ------------------------------------------------------------------
     # entry points
     # ------------------------------------------------------------------
@@ -134,60 +203,219 @@ class LintEngine:
         path: str = "<snippet>",
         module: Optional[str] = None,
     ) -> LintResult:
+        """Lint one in-memory module.
+
+        Flow rules see a single-module :class:`ProjectModel` built from
+        this source alone — exactly the view the fixture tests need.
+        """
         result = LintResult(files=1)
-        try:
-            ctx = ModuleContext.from_source(source, path, module=module)
-        except SyntaxError as exc:
-            result.findings.append(
-                Finding(
-                    rule="syntax-error",
-                    path=path,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    message=f"cannot parse: {exc.msg}",
-                )
-            )
-            return result
-        pragmas = PragmaIndex.from_source(source)
-        for rule in self.rules:
-            if not rule.applies_to(ctx.module):
-                continue
-            for node, message in rule.check(ctx):
-                line, col = _position(node)
-                if pragmas.suppresses(rule.id, line):
-                    result.suppressed += 1
-                    continue
-                result.findings.append(
-                    Finding(
-                        rule=rule.id,
-                        path=path,
-                        line=line,
-                        col=col,
-                        message=message,
-                        severity=rule.severity,
-                    )
-                )
+        record = self._analyse(source, path, module=module)
+        for data in record["findings"]:
+            result.findings.append(Finding(**data))
+        result.suppressed += record["suppressed"]
+        if self.flow_rules and record["summary"] is not None:
+            project = ProjectModel({record["module"]: record["summary"]})
+            flow = self._run_flow_rules(project, [record])
+            result.findings.extend(flow.findings)
+            result.suppressed += flow.suppressed
         result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return result
 
     def lint_file(self, path: str) -> LintResult:
         with open(path, encoding="utf-8") as f:
             source = f.read()
-        display = os.path.relpath(path, self.root)
-        if display.startswith(".."):
-            display = path
-        return self.lint_source(source, path=display.replace(os.sep, "/"))
+        return self.lint_source(source, path=self._display(path))
 
     def lint_paths(
-        self, paths: Sequence[str], baseline: Optional[Baseline] = None
+        self,
+        paths: Sequence[str],
+        baseline: Optional[Baseline] = None,
+        cache: Optional[LintCache] = None,
+        report_only: Optional[Set[str]] = None,
     ) -> LintResult:
+        """Lint a file set with optional caching and report filtering.
+
+        ``report_only`` (the ``--changed`` mode) restricts *reported*
+        findings to the given display paths while still analysing every
+        file — flow rules need the whole program either way.  Stale
+        baseline detection is disabled in that mode: entries for files
+        outside the filter would all look stale.
+        """
         result = LintResult()
+        records: List[dict] = []
         for path in _iter_py_files(paths):
-            result.extend(self.lint_file(path))
+            display = self._display(path)
+            record = self._cached_record(path, display, cache)
+            if record is None:
+                with open(path, encoding="utf-8") as f:
+                    source = f.read()
+                record = self._analyse(source, display)
+                if cache is not None:
+                    stat = os.stat(path)
+                    cache.put(
+                        display,
+                        content_hash(source.encode("utf-8")),
+                        stat.st_mtime_ns,
+                        stat.st_size,
+                        record,
+                    )
+                result.reanalysed.append(display)
+            else:
+                result.cache_hits += 1
+            records.append(record)
+            result.files += 1
+            result.suppressed += record["suppressed"]
+            for data in record["findings"]:
+                result.findings.append(Finding(**data))
+
+        if self.flow_rules:
+            summaries = {}
+            for record in records:
+                if record["summary"] is not None:
+                    summaries.setdefault(record["module"], record["summary"])
+            flow = self._run_flow_rules(ProjectModel(summaries), records)
+            result.findings.extend(flow.findings)
+            result.suppressed += flow.suppressed
+
+        if cache is not None:
+            cache.prune([record["path"] for record in records])
+            cache.save()
+
         result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        if report_only is not None:
+            result.findings = [
+                f for f in result.findings if f.path in report_only
+            ]
         if baseline is not None:
             new, baselined, stale = baseline.apply(result.findings)
             result.findings = new
             result.baselined = baselined
-            result.stale_baseline = stale
+            result.stale_baseline = [] if report_only is not None else stale
+        return result
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _display(self, path: str) -> str:
+        display = os.path.relpath(path, self.root)
+        if display.startswith(".."):
+            display = path
+        return display.replace(os.sep, "/")
+
+    def _cached_record(
+        self, path: str, display: str, cache: Optional[LintCache]
+    ) -> Optional[dict]:
+        if cache is None:
+            return None
+        entry = cache.get(display)
+        if entry is None:
+            return None
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return None
+        if (
+            entry["mtime_ns"] == stat.st_mtime_ns
+            and entry["size"] == stat.st_size
+        ):
+            return entry["record"]
+        try:
+            with open(path, "rb") as f:
+                digest = content_hash(f.read())
+        except OSError:
+            return None
+        if digest == entry["sha256"]:
+            cache.touch(display, stat.st_mtime_ns, stat.st_size)
+            return entry["record"]
+        return None
+
+    def _analyse(
+        self, source: str, display: str, module: Optional[str] = None
+    ) -> dict:
+        """Produce the cacheable per-file record (syntactic tier only)."""
+        try:
+            ctx = ModuleContext.from_source(source, display, module=module)
+        except SyntaxError as exc:
+            finding = Finding(
+                rule="syntax-error",
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"cannot parse: {exc.msg}",
+            )
+            return {
+                "module": module or module_name_for(display),
+                "path": display,
+                "findings": [finding.to_dict()],
+                "suppressed": 0,
+                "summary": None,
+            }
+        pragmas = PragmaIndex.from_source(source)
+        findings: List[Finding] = []
+        suppressed = 0
+        for rule in self.syntactic_rules:
+            if not rule.applies_to(ctx.module):
+                continue
+            for node, message in rule.check(ctx):
+                line, col = _position(node)
+                if pragmas.suppresses_any(rule.id, _pragma_lines(node)):
+                    suppressed += 1
+                    continue
+                findings.append(
+                    Finding(
+                        rule=rule.id,
+                        path=display,
+                        line=line,
+                        col=col,
+                        message=message,
+                        severity=rule.severity,
+                    )
+                )
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        summary = None
+        if isinstance(ctx.tree, ast.Module):
+            summary = summarize_module(ctx.tree, ctx.module, display, source)
+        return {
+            "module": ctx.module,
+            "path": display,
+            "findings": [f.to_dict() for f in findings],
+            "suppressed": suppressed,
+            "summary": summary,
+        }
+
+    def _run_flow_rules(
+        self, project: ProjectModel, records: Sequence[dict]
+    ) -> LintResult:
+        """Run ``requires_project`` rules against the assembled model."""
+        result = LintResult()
+        for record in records:
+            summary = record["summary"]
+            if summary is None:
+                continue
+            pragmas = PragmaIndex.from_dict(summary["pragmas"])
+            ctx = ModuleContext(
+                path=record["path"],
+                module=record["module"],
+                source="",
+                tree=None,
+                project=project,
+            )
+            for rule in self.flow_rules:
+                if not rule.applies_to(ctx.module):
+                    continue
+                for node, message in rule.check(ctx):
+                    line, col = _position(node)
+                    if pragmas.suppresses_any(rule.id, _pragma_lines(node)):
+                        result.suppressed += 1
+                        continue
+                    result.findings.append(
+                        Finding(
+                            rule=rule.id,
+                            path=record["path"],
+                            line=line,
+                            col=col,
+                            message=message,
+                            severity=rule.severity,
+                        )
+                    )
         return result

@@ -71,3 +71,27 @@ class PragmaIndex:
             return True
         rules = self.by_line.get(line)
         return bool(rules) and ("all" in rules or rule_id in rules)
+
+    def suppresses_any(self, rule_id: str, lines) -> bool:
+        """Suppressed on *any* candidate line (statement span, decorators)."""
+        return any(self.suppresses(rule_id, line) for line in lines)
+
+    # -- (de)serialisation so the incremental cache can replay pragma
+    # -- decisions for flow findings without re-reading the source
+    def to_dict(self) -> dict:
+        return {
+            "by_line": {
+                str(line): sorted(rules) for line, rules in self.by_line.items()
+            },
+            "file_wide": sorted(self.file_wide),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PragmaIndex":
+        index = cls()
+        index.by_line = {
+            int(line): set(rules)
+            for line, rules in data.get("by_line", {}).items()
+        }
+        index.file_wide = set(data.get("file_wide", []))
+        return index

@@ -35,6 +35,10 @@ class Rule:
     check: Callable
     packages: Tuple[str, ...] = ()
     exclude: Tuple[str, ...] = ()
+    #: Flow rules read ``ctx.project`` (the whole-program model) instead
+    #: of ``ctx.tree``; the engine runs them after all files are
+    #: summarised and never caches their findings.
+    requires_project: bool = False
 
     def applies_to(self, module: str) -> bool:
         """Whether this rule runs on the dotted module name ``module``."""
@@ -59,6 +63,7 @@ def register(
     description: str,
     packages: Tuple[str, ...] = (),
     exclude: Tuple[str, ...] = (),
+    requires_project: bool = False,
 ) -> Callable:
     """Decorator registering ``check`` under ``rule_id``."""
     if severity not in SEVERITIES:
@@ -76,6 +81,7 @@ def register(
             check=check,
             packages=tuple(packages),
             exclude=tuple(exclude),
+            requires_project=requires_project,
         )
         return check
 

@@ -1,13 +1,14 @@
-"""Render a :class:`~repro.lint.engine.LintResult` as text or JSON."""
+"""Render a :class:`~repro.lint.engine.LintResult` as text, JSON or SARIF."""
 
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Dict, List
 
 from .engine import LintResult
+from .findings import Finding
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(result: LintResult, verbose: bool = False) -> str:
@@ -37,6 +38,91 @@ def render_json(result: LintResult) -> str:
         "stale_baseline": [e.to_dict() for e in result.stale_baseline],
         "suppressed": result.suppressed,
         "files": result.files,
+        "cache_hits": result.cache_hits,
+        "reanalysed": sorted(result.reanalysed),
         "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _sarif_rule(rule_id: str) -> dict:
+    """Catalog metadata for one rule id (tolerant of pseudo-rules)."""
+    from .registry import all_rules
+
+    for rule in all_rules():
+        if rule.id == rule_id:
+            return {
+                "id": rule.id,
+                "shortDescription": {"text": rule.summary},
+                "fullDescription": {"text": rule.description},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVELS.get(rule.severity, "error")
+                },
+                "properties": {"pack": rule.pack},
+            }
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": rule_id},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _sarif_result(finding: Finding, suppressed: bool) -> dict:
+    result = {
+        "ruleId": finding.rule,
+        "level": _SARIF_LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        # Baselined findings ship as externally-suppressed results so
+        # code-scanning shows them as dismissed instead of new.
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 — the format GitHub code scanning ingests.
+
+    New findings become active results; baselined ones are included with
+    an external suppression so annotation counts match the gate.
+    """
+    results = [_sarif_result(f, suppressed=False) for f in result.findings]
+    results += [_sarif_result(f, suppressed=True) for f in result.baselined]
+    rule_ids: Dict[str, None] = {}
+    for finding in [*result.findings, *result.baselined]:
+        rule_ids.setdefault(finding.rule)
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/LINT.md",
+                        "rules": [_sarif_rule(rid) for rid in sorted(rule_ids)],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

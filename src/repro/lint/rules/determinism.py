@@ -148,50 +148,6 @@ def check_wallclock_time(ctx):
             yield node, "time.time() outside repro.obs leaks wall-clock into the run"
 
 
-#: numpy allocation constructors whose dtype defaults to float64.
-_NP_ALLOC_FNS = {"full", "zeros", "ones", "empty"}
-
-
-@register(
-    "det-implicit-float64-alloc",
-    pack="determinism",
-    severity="error",
-    summary="numpy buffer allocated without an explicit dtype (float64 default)",
-    description=(
-        "`np.full`/`np.zeros`/`np.ones`/`np.empty` default to float64. In "
-        "the wire-payload modules (prototypes, client knowledge, "
-        "compression) that silently doubles per-class memory and violates "
-        "the float32 wire discipline (`repro.nn.serialize.WIRE_DTYPE`). "
-        "Pass `dtype=` explicitly — `np.float32` for anything that goes "
-        "on the wire, or a deliberate `np.float64`/`np.int64` where "
-        "precision or indexing demands it."
-    ),
-    packages=(
-        "repro.core.prototypes",
-        "repro.fl.client",
-        "repro.fl.compression",
-        "repro.nn",
-    ),
-)
-def check_implicit_float64_alloc(ctx):
-    for node in ast.walk(ctx.tree):
-        if not isinstance(node, ast.Call):
-            continue
-        chain = call_chain(node)
-        if (
-            chain is None
-            or len(chain) != 2
-            or chain[0] not in ("np", "numpy")
-            or chain[1] not in _NP_ALLOC_FNS
-        ):
-            continue
-        if not any(kw.arg == "dtype" for kw in node.keywords):
-            yield node, (
-                f"np.{chain[1]}() without dtype= allocates float64; state "
-                "the dtype explicitly (float32 for wire payloads)"
-            )
-
-
 def _is_set_expr(node: ast.AST) -> bool:
     if isinstance(node, (ast.Set, ast.SetComp)):
         return True

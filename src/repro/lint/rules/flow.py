@@ -1,0 +1,153 @@
+"""Flow rule packs — findings computed on the whole-program model.
+
+These rules set ``requires_project=True``: the engine calls them once
+per module *after* every file has been summarised, with ``ctx.project``
+holding the assembled :class:`~repro.lint.flow.ProjectModel`.  Each rule
+filters the relevant global analysis down to the module it is currently
+reporting on, and yields ``(line, col, extra_lines)`` position tuples so
+pragma suppression covers the whole flagged statement.
+
+Packs:
+
+- ``flow-dtype`` — interprocedural float64 taint: an implicit
+  allocation is flagged where it is *created*, with the reason being
+  what it can *reach* (wire payload / training hot path);
+- ``flow-checkpoint`` — exact-resume completeness for
+  ``FederatedAlgorithm`` (``extra_state`` round-trip) and the
+  optimizer/scheduler family (``state_dict`` round-trip);
+- ``flow-config`` — sweep run-key drift for ``FederationConfig`` fields
+  and async-protocol signature conformance for ``supports_async``
+  implementors.
+"""
+
+from __future__ import annotations
+
+from ..registry import register
+
+__all__ = []
+
+
+def _module_findings(ctx, findings):
+    for finding in findings:
+        if finding["module"] != ctx.module:
+            continue
+        yield (
+            (finding["line"], finding["col"], tuple(finding["lines"])),
+            finding["message"],
+        )
+
+
+@register(
+    "flow-implicit-float64",
+    pack="flow-dtype",
+    severity="error",
+    summary="implicit float64 allocation that can reach the wire or hot path",
+    description=(
+        "`np.full`/`np.zeros`/`np.ones`/`np.empty` default to float64. The "
+        "flow analysis tracks each dtype-less allocation through local "
+        "dataflow, function calls, returns, and `self.*` attributes; a "
+        "buffer that can reach a `CommChannel` upload/download/broadcast "
+        "payload or the `repro.nn`/`repro.fl.training` hot path violates "
+        "the float32 wire discipline (`repro.nn.serialize.WIRE_DTYPE`) or "
+        "silently doubles training memory. In the always-strict modules "
+        "(prototypes, client knowledge, compression, nn, training) every "
+        "implicit allocation is flagged. Pass `dtype=` explicitly — "
+        "`np.float32` for wire payloads, or a deliberate `np.float64` "
+        "where accumulation precision demands it."
+    ),
+    packages=("repro.core", "repro.fl", "repro.baselines", "repro.nn"),
+    requires_project=True,
+)
+def check_flow_implicit_float64(ctx):
+    yield from _module_findings(ctx, ctx.project.dtype_findings())
+
+
+@register(
+    "flow-extra-state",
+    pack="flow-checkpoint",
+    severity="error",
+    summary="algorithm state not round-tripped by extra_state/load_extra_state",
+    description=(
+        "Exact resume (PR 2) requires every mutable `self.*` attribute a "
+        "`FederatedAlgorithm` subclass writes outside `__init__` to be "
+        "exported by `extra_state()` and restored by `load_extra_state()`. "
+        "The analysis diffs attributes assigned anywhere in the class "
+        "(minus base-managed plumbing and attributes owned by project "
+        "ancestors) against the round-trip pair, resolving the pair "
+        "through the inheritance chain; `self.__dict__` exports and "
+        "`setattr` restores count as covering everything. A miss here is "
+        "a checkpoint that resumes to a diverging run."
+    ),
+    packages=("repro.core", "repro.baselines", "repro.fl"),
+    requires_project=True,
+)
+def check_flow_extra_state(ctx):
+    yield from _module_findings(ctx, ctx.project.extra_state_findings())
+
+
+@register(
+    "flow-state-dict",
+    pack="flow-checkpoint",
+    severity="error",
+    summary="optimizer/scheduler state not covered by state_dict",
+    description=(
+        "`Optimizer` and `LRScheduler` subclasses must persist every "
+        "mutable attribute through `state_dict()`/`load_state_dict()`, "
+        "including attributes written onto them from *other* classes "
+        "through annotated handles (e.g. a scheduler assigning "
+        "`self.optimizer.scheduled_base_lr`). Those external writes are "
+        "attributed to the owning class via `__init__` parameter "
+        "annotations, so the finding lands in the file that must add the "
+        "state_dict entry. Uncovered state makes optimizer resume "
+        "diverge from an uninterrupted run."
+    ),
+    packages=("repro.nn",),
+    requires_project=True,
+)
+def check_flow_state_dict(ctx):
+    yield from _module_findings(ctx, ctx.project.state_dict_findings())
+
+
+@register(
+    "flow-run-key-drift",
+    pack="flow-config",
+    severity="error",
+    summary="FederationConfig field missing from run-key classification",
+    description=(
+        "Sweep run keys (PR 6/7) are content hashes over normalised "
+        "config settings; a `FederationConfig` field that is neither "
+        "hashed nor explicitly excluded silently aliases distinct runs "
+        "into one cache entry. Every field must appear in "
+        "`CONFIG_FIELD_CLASSIFICATION` as key/runtime/managed/derived/"
+        "pinned, and key/runtime/managed entries must be listed in the "
+        "corresponding `_KEY_SETTING_FIELDS`/`_RUNTIME_SETTING_FIELDS`/"
+        "`_MANAGED_FIELDS` normalisation tuples. Stale entries for "
+        "removed fields are flagged too."
+    ),
+    packages=("repro.fl", "repro.sweep"),
+    requires_project=True,
+)
+def check_flow_run_key_drift(ctx):
+    yield from _module_findings(ctx, ctx.project.run_key_findings())
+
+
+@register(
+    "flow-async-protocol",
+    pack="flow-config",
+    severity="error",
+    summary="supports_async implementor does not match the engine protocol",
+    description=(
+        "The async round engine dispatches to exactly three methods: "
+        "`async_dispatch_state(self)`, `async_client_work(self, "
+        "participants, snapshot)` and `async_server_update(self, "
+        "contributions, client_weights, contributors)`. A class that "
+        "declares `supports_async = True` but is missing one of them, or "
+        "defines it with renamed/re-ordered parameters, fails at dispatch "
+        "time deep inside a run. Signatures are checked through the "
+        "inheritance chain against the exact protocol parameter names."
+    ),
+    packages=("repro.core", "repro.baselines", "repro.fl"),
+    requires_project=True,
+)
+def check_flow_async_protocol(ctx):
+    yield from _module_findings(ctx, ctx.project.async_protocol_findings())

@@ -73,12 +73,20 @@ class Optimizer:
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         """Serialisable snapshot of the optimiser's mutable state."""
-        return {"lr": self.lr, "initial_lr": self.initial_lr}
+        state = {"lr": self.lr, "initial_lr": self.initial_lr}
+        if hasattr(self, "scheduled_base_lr"):
+            # breadcrumb left by LRScheduler._apply_lr; without it a
+            # resumed warmup→cosine chain would re-derive its base lr
+            # from the already-scaled ``lr``
+            state["scheduled_base_lr"] = self.scheduled_base_lr
+        return state
 
     def load_state_dict(self, state: dict) -> None:
         """Restore state saved by :meth:`state_dict` (same parameter list)."""
         self.lr = float(state["lr"])
         self.initial_lr = float(state.get("initial_lr", self.initial_lr))
+        if "scheduled_base_lr" in state:
+            self.scheduled_base_lr = float(state["scheduled_base_lr"])
 
     def _check_buffer_count(self, name: str, buffers) -> None:
         if len(buffers) != len(self.params):

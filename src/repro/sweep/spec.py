@@ -102,6 +102,48 @@ _MANAGED_FIELDS = (
     "out_dir",
 )
 
+#: Run-key classification of every ``FederationConfig`` field, enforced
+#: statically by the ``flow-run-key-drift`` lint rule: adding a config
+#: field without declaring how the run key treats it breaks lint, not a
+#: sweep three weeks later.
+#:
+#: - ``key``     — enters the run key (must be in ``_KEY_SETTING_FIELDS``)
+#: - ``runtime`` — execution detail, bit-neutral by the equivalence tests
+#:   (must be in ``_RUNTIME_SETTING_FIELDS``)
+#: - ``managed`` — owned by the scheduler/cache (``_MANAGED_FIELDS``)
+#: - ``derived`` — computed from key settings (dataset/partition/scale),
+#:   so already covered by the settings that derive it
+#: - ``pinned``  — not settable through sweep specs; constant per sweep
+CONFIG_FIELD_CLASSIFICATION = {
+    "seed": "key",
+    "engine": "key",
+    "max_staleness": "key",
+    "staleness_alpha": "key",
+    "buffer_size": "key",
+    "fault_plan": "key",
+    "clients_per_round": "key",
+    "eval_clients": "key",
+    "executor": "runtime",
+    "max_workers": "runtime",
+    "task_timeout_s": "runtime",
+    "retry_backoff_s": "runtime",
+    "max_live_clients": "runtime",
+    "profile": "runtime",
+    "checkpoint_every": "managed",
+    "checkpoint_path": "managed",
+    "trace_path": "managed",
+    "metrics_path": "managed",
+    "num_clients": "derived",
+    "partition": "derived",
+    "client_models": "derived",
+    "server_model": "derived",
+    "feature_dim": "pinned",
+    "local_test_fraction": "pinned",
+    "dropout_prob": "pinned",
+    "task_retries": "pinned",
+    "spill_dir": "pinned",
+}
+
 _CONFIG_PREFIX = "config."
 
 

@@ -1,0 +1,50 @@
+# lint-fixture-module: repro.baselines.fx_async
+"""supports_async implementors must match the engine's 3-method protocol.
+
+A missing protocol method is anchored at the ``supports_async`` opt-in; a
+signature mismatch is anchored at the offending method definition.  A
+class that opts *out* (``supports_async = False``) is never checked.
+"""
+
+
+class IncompleteAlgo:
+    supports_async = True  # BAD
+
+    def async_dispatch_state(self):
+        return {}
+
+    def async_client_work(self, participants, snapshot):
+        return {}
+
+
+class WrongSignatureAlgo:
+    supports_async = True
+
+    def async_dispatch_state(self):
+        return {}
+
+    def async_client_work(self, participants):  # BAD
+        return {}
+
+    def async_server_update(self, contributions, client_weights, contributors):
+        return {}
+
+
+class ConformingAlgo:
+    supports_async = True
+
+    def async_dispatch_state(self):
+        return {}
+
+    def async_client_work(self, participants, snapshot):
+        return {}
+
+    def async_server_update(self, contributions, client_weights, contributors):
+        return {}
+
+
+class SyncOnlyAlgo:
+    supports_async = False
+
+    def run_round(self, participants):
+        return {}

@@ -1,0 +1,30 @@
+# lint-fixture-module: repro.core.fx_dtype
+"""Implicit float64 allocations, flagged only when they can reach the wire.
+
+``repro.core`` is in the dtype *zone* but not an always-flag module, so
+the rule needs taint evidence: the two marked allocations flow through
+``build_payload``'s return value into a ``channel.upload`` call, while
+the scratch buffer in ``local_scratch`` never leaves the function.
+"""
+
+import numpy as np
+
+
+def build_payload(num_classes, feature_dim):
+    protos = np.full((num_classes, feature_dim), np.nan)  # BAD
+    counts = np.zeros(num_classes)  # BAD
+    labels = np.zeros(num_classes, dtype=np.int64)
+    return {"prototypes": protos, "class_counts": counts, "labels": labels}
+
+
+def upload_round(channel, client_id, num_classes, feature_dim):
+    payload = build_payload(num_classes, feature_dim)
+    channel.upload(client_id, payload)
+
+
+def local_scratch(feature_dim):
+    # allocated without a dtype, but reduced to a python float in place —
+    # it can never reach a wire payload, so the rule stays quiet
+    acc = np.zeros(feature_dim)
+    acc = acc + 1.0
+    return float(acc.sum())

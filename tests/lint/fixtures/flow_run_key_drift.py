@@ -1,0 +1,34 @@
+# lint-fixture-module: repro.sweep.fx_spec
+"""Every FederationConfig field must be classified for run-key hashing.
+
+The four violation shapes: an unclassified field (anchored at the field),
+a classified field missing from its category's normalisation tuple, an
+invalid category name, and a stale entry for a field that no longer
+exists (all anchored at the classification entry).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FederationConfig:
+    seed: int = 0
+    num_clients: int = 8
+    max_workers: int = 1
+    spill_dir: str = ""
+    checkpoint_every: int = 0
+    eval_clients: int = 0  # BAD
+
+
+_KEY_SETTING_FIELDS = ("seed",)
+_RUNTIME_SETTING_FIELDS = ()
+_MANAGED_FIELDS = ("checkpoint_every",)
+
+CONFIG_FIELD_CLASSIFICATION = {
+    "seed": "key",
+    "num_clients": "derived",
+    "max_workers": "runtime",  # BAD
+    "spill_dir": "optional",  # BAD
+    "checkpoint_every": "managed",
+    "dropped_field": "pinned",  # BAD
+}

@@ -1,0 +1,55 @@
+# lint-fixture-module: repro.nn.fx_optim
+"""Optimizer-family state that state_dict()/load_state_dict() must round-trip.
+
+Three violations shapes: an attribute written onto the optimizer from
+*outside* (``WarmupWrapper.apply`` through its annotated handle, anchored
+at the owning class's ``state_dict``), and a subclass mutating state its
+inherited persistence never exports.  ``CountingSGD`` shows the compliant
+override.
+"""
+
+
+class Optimizer:
+    """Stand-in base: persistence covers ``lr`` only."""
+
+    def __init__(self, params, lr):
+        self.params = list(params)
+        self.lr = lr
+
+    def step(self):
+        raise NotImplementedError
+
+    def state_dict(self):  # BAD
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state):
+        self.lr = float(state["lr"])
+
+
+class WarmupWrapper:
+    """Leaves a breadcrumb attribute on the optimizer it wraps."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+
+    def apply(self, factor):
+        self.optimizer.boost = factor
+
+
+class DriftingSGD(Optimizer):
+    def step(self):
+        self.step_count = getattr(self, "step_count", 0) + 1  # BAD
+        for p in self.params:
+            p.data = p.data - self.lr * p.grad
+
+
+class CountingSGD(Optimizer):
+    def step(self):
+        self.step_count = getattr(self, "step_count", 0) + 1
+
+    def state_dict(self):
+        return {"lr": self.lr, "step_count": self.step_count}
+
+    def load_state_dict(self, state):
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])

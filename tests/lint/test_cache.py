@@ -1,0 +1,144 @@
+"""Incremental cache correctness: warm == cold, minimal reanalysis.
+
+The cache stores per-file syntactic findings and flow *summaries*; the
+whole-program propagation runs every pass from the summaries, so a warm
+pass must produce byte-identical findings — including flow findings
+whose anchor is in a file the cache skipped.
+"""
+
+import textwrap
+
+from repro.lint import LintCache, LintEngine, cache_signature, get_rule
+
+ALLOC_SOURCE = textwrap.dedent(
+    """\
+    import numpy as np
+
+
+    def fresh_table(num_classes, feature_dim):
+        table = np.full((num_classes, feature_dim), np.nan)
+        return table
+    """
+)
+
+SENDER_SOURCE = textwrap.dedent(
+    """\
+    from ..core.alloc import fresh_table
+
+
+    def push(channel, client_id, num_classes, feature_dim):
+        payload = {"table": fresh_table(num_classes, feature_dim)}
+        channel.upload(client_id, payload)
+    """
+)
+
+
+def _tree(tmp_path):
+    for rel, source in (
+        ("repro/core/alloc.py", ALLOC_SOURCE),
+        ("repro/fl/sender.py", SENDER_SOURCE),
+    ):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return tmp_path / "repro"
+
+
+def _engine(tmp_path):
+    return LintEngine(
+        rules=[get_rule("flow-implicit-float64"), get_rule("det-os-urandom")],
+        root=str(tmp_path),
+    )
+
+
+def _cache(tmp_path, engine):
+    return LintCache(
+        str(tmp_path / "cache.json"), cache_signature(engine.rules)
+    )
+
+
+def _rendered(result):
+    return [f.render() for f in result.findings]
+
+
+def test_warm_pass_reuses_every_file_and_matches_cold(tmp_path):
+    root = _tree(tmp_path)
+    engine = _engine(tmp_path)
+
+    cold = engine.lint_paths([str(root)], cache=_cache(tmp_path, engine))
+    assert cold.cache_hits == 0
+    assert len(cold.reanalysed) == cold.files == 2
+    assert len(cold.findings) == 1  # the cross-module dtype finding
+
+    warm = engine.lint_paths([str(root)], cache=_cache(tmp_path, engine))
+    assert warm.cache_hits == 2
+    assert warm.reanalysed == []
+    assert _rendered(warm) == _rendered(cold)
+
+
+def test_editing_one_file_reanalyses_only_that_file(tmp_path):
+    root = _tree(tmp_path)
+    engine = _engine(tmp_path)
+    engine.lint_paths([str(root)], cache=_cache(tmp_path, engine))
+
+    # dropping the upload removes the wire sink: the finding anchored in
+    # alloc.py must disappear even though alloc.py itself is a cache hit
+    sender = tmp_path / "repro" / "fl" / "sender.py"
+    sender.write_text(SENDER_SOURCE.replace("channel.upload(client_id, payload)", "del payload"))
+    warm = engine.lint_paths([str(root)], cache=_cache(tmp_path, engine))
+    assert warm.reanalysed == ["repro/fl/sender.py"]
+    assert warm.cache_hits == 1
+    assert warm.findings == []
+
+    # the incremental result matches a cache-less run bit for bit
+    cold = _engine(tmp_path).lint_paths([str(root)])
+    assert _rendered(warm) == _rendered(cold)
+
+
+def test_touching_content_back_still_hits_via_content_hash(tmp_path):
+    root = _tree(tmp_path)
+    engine = _engine(tmp_path)
+    engine.lint_paths([str(root)], cache=_cache(tmp_path, engine))
+
+    # rewrite identical bytes: mtime changes, sha256 does not
+    alloc = tmp_path / "repro" / "core" / "alloc.py"
+    alloc.write_text(ALLOC_SOURCE)
+    warm = engine.lint_paths([str(root)], cache=_cache(tmp_path, engine))
+    assert warm.reanalysed == []
+    assert warm.cache_hits == 2
+
+
+def test_rule_set_change_invalidates_the_cache(tmp_path):
+    root = _tree(tmp_path)
+    engine = _engine(tmp_path)
+    engine.lint_paths([str(root)], cache=_cache(tmp_path, engine))
+
+    narrowed = LintEngine(
+        rules=[get_rule("flow-implicit-float64")], root=str(tmp_path)
+    )
+    result = narrowed.lint_paths(
+        [str(root)], cache=_cache(tmp_path, narrowed)
+    )
+    assert result.cache_hits == 0
+    assert len(result.reanalysed) == 2
+
+
+def test_deleted_files_are_pruned_from_the_cache(tmp_path):
+    root = _tree(tmp_path)
+    engine = _engine(tmp_path)
+    engine.lint_paths([str(root)], cache=_cache(tmp_path, engine))
+
+    (tmp_path / "repro" / "fl" / "sender.py").unlink()
+    engine.lint_paths([str(root)], cache=_cache(tmp_path, engine))
+
+    reloaded = _cache(tmp_path, engine)
+    assert sorted(reloaded.entries) == ["repro/core/alloc.py"]
+
+
+def test_corrupt_cache_file_is_ignored_not_fatal(tmp_path):
+    root = _tree(tmp_path)
+    engine = _engine(tmp_path)
+    (tmp_path / "cache.json").write_text("{broken json")
+    result = engine.lint_paths([str(root)], cache=_cache(tmp_path, engine))
+    assert result.cache_hits == 0
+    assert len(result.findings) == 1

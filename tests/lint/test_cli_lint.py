@@ -146,3 +146,136 @@ def test_validate_trace_script_delegates(trace_file):
     spec.loader.exec_module(module)
     assert module.main([str(trace_file)]) == 0
     assert module.main([str(trace_file), "--expect-scopes", "client"]) == 1
+
+
+# ----------------------------------------------------------------------
+# SARIF output
+# ----------------------------------------------------------------------
+
+
+def test_cli_sarif_format(tmp_path, capsys):
+    path = _write_pkg_file(tmp_path, BAD_SOURCE)
+    assert main(["lint", str(path), "--format", "sarif", "--no-cache"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    (result,) = run["results"]
+    assert result["ruleId"] == "det-os-urandom"
+    region = result["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 2
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert "det-os-urandom" in rule_ids
+
+
+def test_cli_sarif_marks_baselined_findings_suppressed(tmp_path, capsys):
+    path = _write_pkg_file(tmp_path, BAD_SOURCE)
+    baseline_path = tmp_path / "baseline.json"
+    assert main(["lint", str(path), "--write-baseline", str(baseline_path)]) == 0
+    capsys.readouterr()
+    assert (
+        main(
+            ["lint", str(path), "--baseline", str(baseline_path),
+             "--format", "sarif", "--no-cache"]
+        )
+        == 0
+    )
+    sarif = json.loads(capsys.readouterr().out)
+    (result,) = sarif["runs"][0]["results"]
+    assert result["suppressions"] == [{"kind": "external"}]
+
+
+# ----------------------------------------------------------------------
+# --prune-baseline
+# ----------------------------------------------------------------------
+
+
+def test_cli_prune_baseline_is_idempotent(tmp_path, capsys):
+    path = _write_pkg_file(tmp_path, BAD_SOURCE)
+    baseline_path = tmp_path / "baseline.json"
+    assert main(["lint", str(path), "--write-baseline", str(baseline_path)]) == 0
+    capsys.readouterr()
+
+    # fix the violation: the baseline entry goes stale
+    path.write_text(CLEAN_SOURCE)
+    assert (
+        main(
+            ["lint", str(path), "--baseline", str(baseline_path),
+             "--prune-baseline", "--no-cache"]
+        )
+        == 0
+    )
+    assert "pruned 1 stale entry" in capsys.readouterr().out
+    assert len(Baseline.load(str(baseline_path))) == 0
+
+    # a second prune is a no-op and leaves the file byte-identical
+    before = baseline_path.read_bytes()
+    assert (
+        main(
+            ["lint", str(path), "--baseline", str(baseline_path),
+             "--prune-baseline", "--no-cache"]
+        )
+        == 0
+    )
+    assert "pruned 0 stale entries" in capsys.readouterr().out
+    assert baseline_path.read_bytes() == before
+
+
+def test_cli_prune_baseline_requires_baseline(tmp_path, capsys):
+    path = _write_pkg_file(tmp_path, CLEAN_SOURCE, name="clean.py")
+    assert main(["lint", str(path), "--prune-baseline"]) == 2
+    assert "requires --baseline" in capsys.readouterr().err
+
+
+def test_cli_prune_baseline_rejects_changed_mode(tmp_path, capsys):
+    path = _write_pkg_file(tmp_path, CLEAN_SOURCE, name="clean.py")
+    baseline_path = tmp_path / "baseline.json"
+    assert main(["lint", str(path), "--write-baseline", str(baseline_path)]) == 0
+    capsys.readouterr()
+    assert (
+        main(
+            ["lint", str(path), "--baseline", str(baseline_path),
+             "--prune-baseline", "--changed"]
+        )
+        == 2
+    )
+    assert "cannot be combined" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# --changed (git-aware mode)
+# ----------------------------------------------------------------------
+
+
+def _git(tmp_path, *argv):
+    import subprocess
+
+    subprocess.run(
+        ["git", "-c", "user.email=ci@example.com", "-c", "user.name=ci", *argv],
+        cwd=tmp_path, check=True, capture_output=True,
+    )
+
+
+def test_cli_changed_reports_only_git_modified_files(tmp_path, capsys, monkeypatch):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "stable.py").write_text(BAD_SOURCE)
+    (pkg / "edited.py").write_text(CLEAN_SOURCE)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    (pkg / "edited.py").write_text(BAD_SOURCE)
+
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "repro", "--changed", "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "edited.py:2:" in out
+    assert "stable.py" not in out
+
+
+def test_cli_changed_outside_git_is_usage_error(tmp_path, capsys, monkeypatch):
+    path = _write_pkg_file(tmp_path, CLEAN_SOURCE, name="clean.py")
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_DIR", str(tmp_path / "no-such-git"))
+    assert main(["lint", str(path), "--changed", "--no-cache"]) == 2
+    assert "--changed needs a git checkout" in capsys.readouterr().err

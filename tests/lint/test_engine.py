@@ -115,3 +115,92 @@ def test_rules_outside_their_packages_do_not_run():
     source = "def f(p):\n    p.data += 1\n"
     assert engine.lint_source(source, module="repro.nn.optim").findings
     assert not engine.lint_source(source, module="repro.fl.client").findings
+
+
+def test_pragma_on_decorator_line_suppresses_function_finding():
+    """The anchor is the ``def`` line, but the statement starts at the
+    decorator — a pragma on either line must reach the finding."""
+    source = textwrap.dedent(
+        """\
+        import functools
+
+        @functools.cache  # lint: disable=hyg-shadowed-builtin
+        def list(xs):
+            return xs
+        """
+    )
+    engine = LintEngine(rules=[get_rule("hyg-shadowed-builtin")])
+    result = engine.lint_source(source, module="repro.fl.fixture")
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_pragma_above_decorator_suppresses_function_finding():
+    source = textwrap.dedent(
+        """\
+        import functools
+
+        # lint: disable=hyg-shadowed-builtin — exercising the comment-block
+        # placement above a decorated def.
+        @functools.cache
+        def list(xs):
+            return xs
+        """
+    )
+    engine = LintEngine(rules=[get_rule("hyg-shadowed-builtin")])
+    result = engine.lint_source(source, module="repro.fl.fixture")
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_pragma_anywhere_in_multiline_statement_suppresses():
+    """A call spread over several lines accepts the pragma on any of them."""
+    source = textwrap.dedent(
+        """\
+        import numpy as np
+
+        noise = np.random.normal(
+            0.0,
+            1.0,  # lint: disable=det-banned-np-random
+            size=(3, 3),
+        )
+        """
+    )
+    engine = LintEngine(rules=[get_rule("det-banned-np-random")])
+    result = engine.lint_source(source, module="repro.fl.fixture")
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_pragma_after_multiline_statement_does_not_suppress():
+    """The candidate set ends with the statement; the next line is too late."""
+    source = textwrap.dedent(
+        """\
+        import numpy as np
+
+        noise = np.random.normal(
+            0.0,
+            1.0,
+        )
+        # lint: disable=det-banned-np-random
+        """
+    )
+    engine = LintEngine(rules=[get_rule("det-banned-np-random")])
+    result = engine.lint_source(source, module="repro.fl.fixture")
+    assert len(result.findings) == 1
+    assert result.suppressed == 0
+
+
+def test_pragma_on_compound_header_does_not_leak_into_body():
+    """``for``/``if`` statements only take pragmas on their header line."""
+    source = textwrap.dedent(
+        """\
+        import os
+
+        for _ in range(2):  # lint: disable=det-os-urandom
+            raw = os.urandom(8)
+        """
+    )
+    engine = LintEngine(rules=[get_rule("det-os-urandom")])
+    result = engine.lint_source(source, module="repro.fl.fixture")
+    assert [f.line for f in result.findings] == [4]

@@ -23,7 +23,16 @@ RULES = all_rules()
 
 def test_registry_is_nonempty_and_covers_all_packs():
     assert len(RULES) >= 16
-    assert set(packs()) == {"determinism", "comm", "autograd", "obs", "hygiene"}
+    assert set(packs()) == {
+        "determinism",
+        "comm",
+        "autograd",
+        "obs",
+        "hygiene",
+        "flow-dtype",
+        "flow-checkpoint",
+        "flow-config",
+    }
 
 
 @pytest.mark.parametrize("rule", RULES, ids=lambda r: r.id)

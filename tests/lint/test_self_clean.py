@@ -31,3 +31,26 @@ def test_full_pass_is_fast_enough_for_ci():
     engine.lint_paths([str(REPO_ROOT / "src")])
     elapsed = time.perf_counter() - start
     assert elapsed < 5.0, f"lint pass took {elapsed:.2f}s (budget 5s)"
+
+
+def test_warm_cache_pass_is_fast_enough_for_ci(tmp_path):
+    """With a warm cache only the flow pass re-runs; budget is tighter."""
+    from repro.lint import LintCache, cache_signature
+
+    engine = LintEngine(root=str(REPO_ROOT))
+    cache_path = tmp_path / "cache.json"
+    cold = LintCache(str(cache_path), cache_signature(engine.rules))
+    cold_result = engine.lint_paths([str(REPO_ROOT / "src")], cache=cold)
+    assert cold_result.cache_hits == 0
+
+    warm = LintCache(str(cache_path), cache_signature(engine.rules))
+    start = time.perf_counter()
+    warm_result = engine.lint_paths([str(REPO_ROOT / "src")], cache=warm)
+    elapsed = time.perf_counter() - start
+    assert warm_result.reanalysed == []
+    assert warm_result.cache_hits == warm_result.files
+    assert elapsed < 2.0, f"warm lint pass took {elapsed:.2f}s (budget 2s)"
+    # identical verdict either way
+    assert [f.render() for f in warm_result.findings] == [
+        f.render() for f in cold_result.findings
+    ]
